@@ -1,0 +1,342 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benchmarks for the design choices called out in DESIGN.md.
+// Each figure benchmark regenerates the underlying data via
+// internal/experiments (the same code cmd/experiments and the golden
+// tests use) and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the whole evaluation. Shapes are asserted in
+// internal/experiments tests; EXPERIMENTS.md records measured vs paper.
+
+import (
+	"testing"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/core"
+	"reusetool/internal/experiments"
+	"reusetool/internal/metrics"
+	"reusetool/internal/workloads"
+)
+
+func hier() *cache.Hierarchy { return cache.ScaledItanium2() }
+
+func BenchmarkFig1_LoopInterchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(256, 256, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MissesBad/r.MissesGood, "improvement_x")
+		b.ReportMetric(r.CarriedByOuterBad*100, "outer_carried_pct")
+	}
+}
+
+func BenchmarkFig2_Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(400, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FragA, "fragA")
+		b.ReportMetric(r.FragB, "fragB")
+	}
+}
+
+func BenchmarkFig5_CarriedMisses(b *testing.B) {
+	cfg := workloads.DefaultSweep3D()
+	cfg.N = 16
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(cfg, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Share("L2", "loop idiag")*100, "idiag_L2_pct") // paper: 75
+		b.ReportMetric(r.Share("L3", "loop idiag")*100, "idiag_L3_pct") // paper: 68
+		b.ReportMetric(r.Share("L3", "loop iq")*100, "iq_L3_pct")       // paper: 22
+		b.ReportMetric(r.Share("TLB", "loop jkm")*100, "jkm_TLB_pct")   // paper: 79
+	}
+}
+
+func BenchmarkTable2_L2Breakdown(b *testing.B) {
+	cfg := workloads.DefaultSweep3D()
+	cfg.N = 16
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(cfg, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ArrayTotal["src"]*100, "src_pct")   // paper: 26.7
+		b.ReportMetric(r.ArrayTotal["flux"]*100, "flux_pct") // paper: 26.9
+		b.ReportMetric(r.ArrayTotal["face"]*100, "face_pct") // paper: 19.7
+		b.ReportMetric(r.RowShare("src", "idiag")*100, "src_idiag_pct")
+	}
+}
+
+// fig8 runs the mesh sweep once and reports one sub-benchmark per panel.
+func fig8Rows(b *testing.B) []experiments.Fig8Row {
+	b.Helper()
+	rows, err := experiments.Fig8([]int64{8, 12, 16, 20}, hier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+func BenchmarkFig8a_L2MissesVsMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig8Rows(b)
+		orig := experiments.Fig8Find(rows, "Original", 20)
+		blk6 := experiments.Fig8Find(rows, "Block size 6", 20)
+		b.ReportMetric(orig.L2PerCell, "orig_L2_per_cell")
+		b.ReportMetric(blk6.L2PerCell, "blk6_L2_per_cell")
+		b.ReportMetric(orig.L2PerCell/blk6.L2PerCell, "reduction_x") // paper: ~6
+	}
+}
+
+func BenchmarkFig8b_L3MissesVsMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig8Rows(b)
+		orig := experiments.Fig8Find(rows, "Original", 20)
+		blk6 := experiments.Fig8Find(rows, "Block size 6", 20)
+		b.ReportMetric(orig.L3PerCell, "orig_L3_per_cell")
+		b.ReportMetric(blk6.L3PerCell, "blk6_L3_per_cell")
+	}
+}
+
+func BenchmarkFig8c_TLBMissesVsMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig8Rows(b)
+		orig := experiments.Fig8Find(rows, "Original", 20)
+		ic := experiments.Fig8Find(rows, "Blk6+dimIC", 20)
+		b.ReportMetric(orig.TLBPerCell, "orig_TLB_per_cell")
+		b.ReportMetric(ic.TLBPerCell, "dimIC_TLB_per_cell")
+	}
+}
+
+func BenchmarkFig8d_CyclesVsMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig8Rows(b)
+		orig := experiments.Fig8Find(rows, "Original", 20)
+		ic := experiments.Fig8Find(rows, "Blk6+dimIC", 20)
+		b.ReportMetric(orig.CyclesPerCell, "orig_cycles_per_cell")
+		b.ReportMetric(ic.CyclesPerCell, "tuned_cycles_per_cell")
+		b.ReportMetric(orig.CyclesPerCell/ic.CyclesPerCell, "speedup_x") // paper: 2.5
+		b.ReportMetric(ic.NonStallPerCell, "nonstall_per_cell")
+	}
+}
+
+func BenchmarkFig9_FragArrays(b *testing.B) {
+	cfg := workloads.DefaultGTC()
+	cfg.Micell = 10
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(cfg, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ZionShareOfFrag*100, "zion_frag_share_pct")        // paper: 95
+		b.ReportMetric(r.ZionFragShareOfZionMisses*100, "frag_of_zion_pct") // paper: 48
+		b.ReportMetric(r.ZionFragShareOfProgram*100, "frag_of_program_pct") // paper: 13.7
+	}
+}
+
+func BenchmarkFig10a_L3Carriers(b *testing.B) {
+	cfg := workloads.DefaultGTC()
+	cfg.Micell = 10
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(cfg, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MainLoopsL3*100, "main_loops_L3_pct") // paper: ~40
+		b.ReportMetric(r.PushiL3*100, "pushi_L3_pct")          // paper: ~20
+	}
+}
+
+func BenchmarkFig10b_TLBCarriers(b *testing.B) {
+	cfg := workloads.DefaultGTC()
+	cfg.Micell = 10
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(cfg, hier())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SmoothTLB*100, "smooth_TLB_pct") // paper: ~64
+	}
+}
+
+func fig11Rows(b *testing.B) []experiments.Fig11Row {
+	b.Helper()
+	rows, err := experiments.Fig11(workloads.DefaultGTC(), []int64{2, 5, 10, 15}, hier())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+func BenchmarkFig11a_L2MissesVsMicell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig11Rows(b)
+		orig := experiments.Fig11Find(rows, "gtc_original", 15)
+		final := experiments.Fig11Find(rows, "+pushi tiling/fusion", 15)
+		b.ReportMetric(orig.L2PerMicell, "orig_L2_per_mc")
+		b.ReportMetric(final.L2PerMicell, "tuned_L2_per_mc")
+	}
+}
+
+func BenchmarkFig11b_L3MissesVsMicell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig11Rows(b)
+		orig := experiments.Fig11Find(rows, "gtc_original", 15)
+		final := experiments.Fig11Find(rows, "+pushi tiling/fusion", 15)
+		b.ReportMetric(orig.L3PerMicell/final.L3PerMicell, "reduction_x") // paper: >= 2
+	}
+}
+
+func BenchmarkFig11c_TLBMissesVsMicell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig11Rows(b)
+		before := experiments.Fig11Find(rows, "+poisson transforms", 15)
+		after := experiments.Fig11Find(rows, "+smooth LI", 15)
+		b.ReportMetric(before.TLBPerMicell, "before_smoothLI_TLB_per_mc")
+		b.ReportMetric(after.TLBPerMicell, "after_smoothLI_TLB_per_mc")
+	}
+}
+
+func BenchmarkFig11d_TimeVsMicell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fig11Rows(b)
+		orig := experiments.Fig11Find(rows, "gtc_original", 15)
+		final := experiments.Fig11Find(rows, "+pushi tiling/fusion", 15)
+		b.ReportMetric(orig.CyclesPerMicell/final.CyclesPerMicell, "speedup_x") // paper: 1.5
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md section 5).
+// ---------------------------------------------------------------------
+
+// BenchmarkAblation_OSTree compares the AVL and Fenwick order-statistic
+// structures on a realistic trace (the Sweep3D kernel).
+func BenchmarkAblation_OSTree(b *testing.B) {
+	for _, fenwick := range []bool{false, true} {
+		name := "AVL"
+		if fenwick {
+			name = "Fenwick"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := workloads.DefaultSweep3D()
+			cfg.N = 10
+			cfg.Octants = 2
+			for i := 0; i < b.N; i++ {
+				prog, err := workloads.Sweep3D(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Analyze(prog, core.Options{UseFenwick: fenwick}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_HistogramResolution measures analysis cost and
+// prediction fidelity at different histogram resolutions.
+func BenchmarkAblation_HistogramResolution(b *testing.B) {
+	for _, res := range []int{2, 8, 64} {
+		b.Run(map[int]string{2: "res2", 8: "res8", 64: "res64"}[res], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.Analyze(workloads.Stencil(96, 2), core.Options{HistRes: res})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Report.Level("L3").TotalMisses, "predicted_L3")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PatternGranularity quantifies the paper's claim that
+// per-(source,carrying) histograms are "more but smaller": it reports the
+// number of histograms and their total occupied bins for the Sweep3D
+// trace, versus the single-histogram-per-reference baseline.
+func BenchmarkAblation_PatternGranularity(b *testing.B) {
+	cfg := workloads.DefaultSweep3D()
+	cfg.N = 10
+	cfg.Octants = 2
+	for i := 0; i < b.N; i++ {
+		prog, err := workloads.Sweep3D(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Analyze(prog, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, _ := res.Collector.Level("L2")
+		var patterns, bins, refs int
+		var perRefBins int
+		for _, rd := range eng.Refs() {
+			refs++
+			merged := 0
+			for _, p := range rd.Patterns {
+				patterns++
+				bins += p.Hist.Bins()
+				merged += p.Hist.Bins()
+			}
+			// The baseline merges all patterns of a reference into one
+			// histogram; its bin count is at most the union.
+			if merged > 0 {
+				perRefBins += merged
+			}
+		}
+		b.ReportMetric(float64(patterns), "histograms")
+		b.ReportMetric(float64(patterns)/float64(refs), "histograms_per_ref")
+		b.ReportMetric(float64(bins)/float64(patterns), "bins_per_histogram")
+	}
+}
+
+// BenchmarkAblation_PredictionModel compares the exact fully-associative
+// thresholding against the probabilistic set-associative model on the
+// same collected data.
+func BenchmarkAblation_PredictionModel(b *testing.B) {
+	for _, m := range []metrics.Model{metrics.FullyAssoc, metrics.SetAssoc} {
+		name := "FullyAssoc"
+		if m == metrics.SetAssoc {
+			name = "SetAssoc"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.Analyze(workloads.Stencil(96, 2), core.Options{Model: m, Simulate: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pred := r.Report.Level("L3").TotalMisses
+				sim := float64(r.Sim.Misses("L3"))
+				b.ReportMetric(pred, "predicted_L3")
+				b.ReportMetric(pred/sim, "pred_over_sim")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures raw reuse-distance engine throughput
+// on the GTC trace (accesses per second across both granularities).
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := workloads.DefaultGTC()
+	cfg.Micell = 5
+	for i := 0; i < b.N; i++ {
+		prog, init, err := workloads.GTC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Analyze(prog, core.Options{Init: init})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Run.Accesses), "accesses")
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("8, 12,16 ,,20")
+	want := []int64{8, 12, 16, 20}
+	if len(got) != len(want) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v, want %v", got, want)
+		}
+	}
+	if out := parseInts(""); len(out) != 0 {
+		t.Errorf("empty input should parse to nothing, got %v", out)
+	}
+}

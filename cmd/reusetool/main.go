@@ -1,0 +1,367 @@
+// Command reusetool analyzes a named workload with the reuse-distance
+// toolkit and prints the paper's reports: the top-down scope tree, the
+// carried-misses table, the reuse-pattern database, the fragmentation
+// table, and Table I transformation advice — or the raw XML database.
+//
+// Usage:
+//
+//	reusetool -workload sweep3d [-level L2] [-xml] [-full]
+//	          [-param N=16 -param micell=5 ...]
+//	          [-save data.rd | -load data.rd]
+//	          [-dump-trace run.trace | -from-trace run.trace]
+//
+// Workloads: fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d,
+// sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned.
+//
+// -save/-load persist the collected reuse-distance data (collect once,
+// predict for many cache configurations). -dump-trace/-from-trace record
+// and replay the raw event stream in the tracefile text format, the seam
+// for analyzing traces produced outside this library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/cct"
+	"reusetool/internal/core"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/lang"
+	"reusetool/internal/metrics"
+	"reusetool/internal/persist"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/trace"
+	"reusetool/internal/tracefile"
+	"reusetool/internal/viewer"
+	"reusetool/internal/workloads"
+	"reusetool/internal/xmlout"
+)
+
+type paramList map[string]int64
+
+func (p paramList) String() string { return fmt.Sprintf("%v", map[string]int64(p)) }
+
+func (p paramList) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return err
+	}
+	p[k] = n
+	return nil
+}
+
+func main() {
+	params := paramList{}
+	var (
+		workload = flag.String("workload", "fig1a", "built-in workload to analyze")
+		progFile = flag.String("program", "", "analyze a .loop program file instead of a built-in workload")
+		level    = flag.String("level", "L2", "cache level for the text reports")
+		xmlOut   = flag.Bool("xml", false, "emit the XML database instead of text reports")
+		full     = flag.Bool("full", false, "use the full-size Itanium2 hierarchy")
+		share    = flag.Float64("minshare", 0.02, "minimum miss share for reported items")
+	)
+	var (
+		saveTo    = flag.String("save", "", "save collected reuse-distance data to this file")
+		loadFrom  = flag.String("load", "", "reuse previously saved data instead of re-running the workload")
+		dumpTrace = flag.String("dump-trace", "", "additionally record the event trace to this text file")
+		fromTrace = flag.String("from-trace", "", "analyze a recorded trace file instead of a workload")
+		cctOut    = flag.Bool("cct", false, "additionally print the calling-context tree of misses at -level")
+		compareTo = flag.String("compare", "", "additionally compare against this workload's misses (e.g. sweep3d-blk6ic)")
+		dumpProg  = flag.String("dump-program", "", "write the workload as a .loop program file and exit")
+	)
+	flag.Var(params, "param", "workload parameter override, name=value (repeatable)")
+	flag.Parse()
+
+	if *fromTrace != "" {
+		if err := analyzeTraceFile(*fromTrace, *level, *share, *full, *xmlOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var (
+		prog *ir.Program
+		init func(*interp.Machine) error
+		err  error
+	)
+	if *progFile != "" {
+		prog, init, err = loadProgramFile(*progFile)
+	} else {
+		prog, init, err = buildWorkload(*workload)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *dumpProg != "" {
+		if err := os.WriteFile(*dumpProg, []byte(lang.Format(prog)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "program written to %s\n", *dumpProg)
+		return
+	}
+
+	hier := cache.ScaledItanium2()
+	if *full {
+		hier = cache.Itanium2()
+	}
+
+	var res *core.Result
+	if *loadFrom != "" {
+		res, err = analyzeSaved(prog, *loadFrom, hier, params)
+	} else {
+		opts := core.Options{
+			Hierarchy: hier,
+			Params:    params,
+			Init:      init,
+		}
+		var traceOut *os.File
+		var traceW *tracefile.Writer
+		if *dumpTrace != "" {
+			info, ferr := prog.Finalize()
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
+			traceOut, err = os.Create(*dumpTrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			traceW, err = tracefile.NewWriter(traceOut, info, len(info.Refs))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts.Tee = traceW
+			res, err = core.AnalyzeInfo(info, opts)
+		} else {
+			res, err = core.Analyze(prog, opts)
+		}
+		if traceW != nil {
+			if ferr := traceW.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
+			traceOut.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *dumpTrace)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *saveTo != "" {
+		if *loadFrom != "" {
+			fmt.Fprintln(os.Stderr, "-save with -load is a no-op; data is already on disk")
+		} else if err := saveDataset(res, prog.Name, *saveTo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "saved reuse-distance data to %s\n", *saveTo)
+		}
+	}
+
+	if *xmlOut {
+		if err := res.WriteXML(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("workload %s on %s\n\n", prog.Name, hier.Name)
+	if err := res.WriteSummary(os.Stdout, *level, *share); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *cctOut {
+		fmt.Println()
+		if err := printCCT(*workload, *progFile, hier, *level, *share, params); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *compareTo != "" {
+		fmt.Println()
+		other, otherInit, err := buildWorkload(*compareTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		otherRes, err := core.Analyze(other, core.Options{Hierarchy: hier, Params: params, Init: otherInit})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := viewer.Compare(os.Stdout, res.Report, otherRes.Report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printCCT re-runs the workload through a calling-context-tree profiler
+// at the selected level and prints the tree.
+func printCCT(workload, progFile string, hier *cache.Hierarchy, level string, share float64, params map[string]int64) error {
+	lvl := hier.Level(level)
+	if lvl == nil {
+		return fmt.Errorf("unknown level %q", level)
+	}
+	// Rebuild: a finalized program cannot be re-finalized safely.
+	var (
+		prog *ir.Program
+		init func(*interp.Machine) error
+		err  error
+	)
+	if progFile != "" {
+		prog, init, err = loadProgramFile(progFile)
+	} else {
+		prog, init, err = buildWorkload(workload)
+	}
+	if err != nil {
+		return err
+	}
+	info, err := prog.Finalize()
+	if err != nil {
+		return err
+	}
+	prof := cct.NewProfiler(*lvl)
+	var opts []interp.Option
+	if init != nil {
+		opts = append(opts, interp.WithInit(init))
+	}
+	if _, err := interp.Run(info, params, prof, opts...); err != nil {
+		return err
+	}
+	prof.Print(os.Stdout, info.Scopes, share)
+	return nil
+}
+
+// saveDataset snapshots the collected data for later -load runs.
+func saveDataset(res *core.Result, program, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var trips map[trace.ScopeID]interp.TripStat
+	if res.Run != nil {
+		trips = res.Run.Trips
+	}
+	return persist.Save(f, persist.Snapshot(res.Collector, program, trips))
+}
+
+// analyzeSaved rebuilds the report from a saved dataset (collect once,
+// predict many).
+func analyzeSaved(prog *ir.Program, path string, hier *cache.Hierarchy, params map[string]int64) (*core.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := persist.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	info, err := prog.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeSaved(info, d.Collector(), d.TripsFunc(1), core.Options{
+		Hierarchy: hier,
+		Params:    params,
+	})
+}
+
+// analyzeTraceFile analyzes a recorded trace: the reuse-distance engines
+// replay the events and a report is built against the recovered scope
+// tree (no static fragmentation analysis — there is no IR to analyze).
+func analyzeTraceFile(path, level string, share float64, full, xmlOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hier := cache.ScaledItanium2()
+	if full {
+		hier = cache.Itanium2()
+	}
+	col := reusedist.NewCollector(hier.Granularities(), 0, false)
+	meta, err := tracefile.Read(f, col)
+	if err != nil {
+		return err
+	}
+	rep, err := metrics.Build(meta, col, nil, hier, metrics.SetAssoc)
+	if err != nil {
+		return err
+	}
+	if xmlOut {
+		data, err := xmlout.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	fmt.Printf("trace %s on %s\n\n", meta.Program, hier.Name)
+	return viewer.Summary(os.Stdout, rep, level, share)
+}
+
+// loadProgramFile parses a .loop program (see internal/lang).
+func loadProgramFile(path string) (*ir.Program, func(*interp.Machine) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lang.Parse(string(data))
+}
+
+func buildWorkload(name string) (*ir.Program, func(*interp.Machine) error, error) {
+	switch name {
+	case "fig1a":
+		return workloads.Fig1(false), nil, nil
+	case "fig1b":
+		return workloads.Fig1(true), nil, nil
+	case "fig2":
+		return workloads.Fig2(), nil, nil
+	case "stream":
+		return workloads.Stream(1<<14, 4), nil, nil
+	case "stencil":
+		return workloads.Stencil(128, 4), nil, nil
+	case "transpose":
+		return workloads.Transpose(256), nil, nil
+	case "sweep3d", "sweep3d-blk6", "sweep3d-blk6ic":
+		cfg := workloads.DefaultSweep3D()
+		if name == "sweep3d-blk6" {
+			cfg.Block = 6
+		}
+		if name == "sweep3d-blk6ic" {
+			cfg.Block = 6
+			cfg.DimInterchange = true
+		}
+		p, err := workloads.Sweep3D(cfg)
+		return p, nil, err
+	case "gtc", "gtc-tuned":
+		cfg := workloads.DefaultGTC()
+		if name == "gtc-tuned" {
+			vs := workloads.GTCVariants(cfg)
+			cfg = vs[len(vs)-1].Config
+		}
+		p, init, err := workloads.GTC(cfg)
+		return p, init, err
+	}
+	return nil, nil, fmt.Errorf("unknown workload %q (try fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d, sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned)", name)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildWorkloadAllNames(t *testing.T) {
+	names := []string{
+		"fig1a", "fig1b", "fig2", "stream", "stencil", "transpose",
+		"sweep3d", "sweep3d-blk6", "sweep3d-blk6ic", "gtc", "gtc-tuned",
+	}
+	for _, name := range names {
+		prog, _, err := buildWorkload(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if prog == nil {
+			t.Errorf("%s: nil program", name)
+		}
+	}
+	if _, _, err := buildWorkload("nope"); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unknown workload not rejected: %v", err)
+	}
+}
+
+func TestGTCTunedHasAllTransforms(t *testing.T) {
+	prog, _, err := buildWorkload("gtc-tuned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Name, "pushi") {
+		t.Errorf("gtc-tuned program name = %q, want final variant", prog.Name)
+	}
+}
+
+func TestParamList(t *testing.T) {
+	p := paramList{}
+	if err := p.Set("N=42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("micell=5"); err != nil {
+		t.Fatal(err)
+	}
+	if p["N"] != 42 || p["micell"] != 5 {
+		t.Errorf("params = %v", p)
+	}
+	if err := p.Set("garbage"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if err := p.Set("N=abc"); err == nil {
+		t.Error("non-integer should fail")
+	}
+	if s := p.String(); !strings.Contains(s, "42") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,65 @@
+// Crossarch: the architecture-independence workflow at the heart of
+// reuse-distance analysis. One instrumented run of a stencil collects
+// histograms at the union of two machines' block granularities; miss
+// predictions for both machines are then computed offline and validated
+// against execution-driven simulation of each.
+//
+//	go run ./examples/crossarch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/cachesim"
+	"reusetool/internal/interp"
+	"reusetool/internal/metrics"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+func main() {
+	machines := []*cache.Hierarchy{cache.ScaledItanium2(), cache.Opteron()}
+
+	prog := workloads.Stencil(96, 2)
+	info, err := prog.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ONE instrumented run: the collector measures reuse distances at
+	// every distinct block size the machines use, and the simulators ride
+	// along only to provide ground truth for the comparison.
+	col := reusedist.NewCollectorWith(cache.UnionGranularities(machines...), reusedist.Config{})
+	handlers := trace.Multi{col}
+	sims := make([]*cachesim.Sim, len(machines))
+	for i, m := range machines {
+		sims[i] = cachesim.New(m)
+		handlers = append(handlers, sims[i])
+	}
+	if _, err := interp.Run(info, nil, handlers); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("one collection run, predictions for every machine:")
+	fmt.Println()
+	for i, m := range machines {
+		rep, err := metrics.Build(info, col, nil, m, metrics.SetAssoc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", m.Name)
+		for _, lr := range rep.Levels {
+			sim := float64(sims[i].Misses(lr.Level.Name))
+			errPct := 0.0
+			if sim > 0 {
+				errPct = 100 * (lr.TotalMisses - sim) / sim
+			}
+			fmt.Printf("  %-4s predicted %8.0f misses | simulated %8.0f (%+.1f%%)\n",
+				lr.Level.Name, lr.TotalMisses, sim, errPct)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// GTC: the paper's second case study (Section V-B). Analyzes the
+// particle-in-cell kernel, reproduces the Figure 9 fragmentation view and
+// the Figure 10 carrying-scopes views, prints the Table I advice, then
+// applies the paper's six transformations cumulatively and reports the
+// miss and time improvements (Figure 11).
+//
+//	go run ./examples/gtc [-micell 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"reusetool/internal/core"
+	"reusetool/internal/viewer"
+	"reusetool/internal/workloads"
+)
+
+func main() {
+	micell := flag.Int64("micell", 10, "particles per cell")
+	flag.Parse()
+
+	cfg := workloads.DefaultGTC()
+	cfg.Micell = *micell
+
+	prog, init, err := workloads.GTC(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzing %s: grid %d, %d particles/cell ...\n\n", prog.Name, cfg.Grid, cfg.Micell)
+	res, err := core.Analyze(prog, core.Options{Init: init})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 9: arrays by fragmentation misses.
+	if err := viewer.FragTable(os.Stdout, res.Report, "L3", 6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Figure 10: scopes carrying L3 and TLB misses.
+	for _, level := range []string{"L3", "TLB"} {
+		if err := viewer.CarriedTable(os.Stdout, res.Report, level, 6); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// Table I advice.
+	if err := viewer.Advice(os.Stdout, res.Report, "L3", 0.03); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Figure 11: apply the transformations cumulatively.
+	fmt.Println("=== Cumulative transformations (simulated) ===")
+	fmt.Printf("%-22s %10s %10s %10s %12s\n", "VARIANT", "L2", "L3", "TLB", "CYCLES")
+	var first, last *core.SimResult
+	var firstScale, lastScale float64
+	for _, v := range workloads.GTCVariants(cfg) {
+		p, vinit, err := workloads.GTC(v.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err := core.Simulate(p, core.Options{Init: vinit})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := sr.Cycles(v.NonStall)
+		fmt.Printf("%-22s %10d %10d %10d %12.0f\n",
+			v.Label, sr.Misses("L2"), sr.Misses("L3"), sr.Misses("TLB"), b.Total)
+		if first == nil {
+			first, firstScale = sr, v.NonStall
+		}
+		last, lastScale = sr, v.NonStall
+	}
+	fmt.Printf("\nL3 misses cut %.1fx; modeled speedup %.2fx (paper: >= 2x misses, 1.5x time)\n",
+		float64(first.Misses("L3"))/float64(last.Misses("L3")),
+		first.Cycles(firstScale).Total/last.Cycles(lastScale).Total)
+}

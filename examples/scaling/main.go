@@ -1,0 +1,73 @@
+// Scaling: the cross-input modeling the paper inherits from Marin &
+// Mellor-Crummey [14]. Collects reuse-distance histograms for a stencil
+// at several training sizes, fits scaling models, predicts the miss count
+// at a larger size never measured, and validates the prediction against a
+// real run at that size.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/core"
+	"reusetool/internal/histo"
+	"reusetool/internal/model"
+	"reusetool/internal/workloads"
+)
+
+func main() {
+	hier := cache.ScaledItanium2()
+	level := hier.Levels[1] // L3
+
+	train := []int64{32, 48, 64}
+	const target = 128
+
+	fmt.Printf("training on stencil sizes %v, predicting N=%d\n\n", train, target)
+
+	// Collect one merged L3-granularity histogram per training size.
+	var ns []float64
+	var hists []*histo.Histogram
+	for _, n := range train {
+		h, accesses := collect(n, hier)
+		ns = append(ns, float64(n))
+		hists = append(hists, h)
+		fmt.Printf("  N=%3d: %9d accesses, %s\n", n, accesses, h)
+	}
+
+	m, err := model.FitHistograms(ns, hists, 128, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted scaling: total %s; cold %s\n", m.TotalFit, m.ColdFit)
+
+	predicted := m.PredictMisses(level, target)
+
+	// Validate against a real run at the target size.
+	actualHist, _ := collect(target, hier)
+	actual := level.ExpectedMisses(actualHist)
+
+	fmt.Printf("\npredicted %s misses at N=%d: %.0f\n", level.Name, target, predicted)
+	fmt.Printf("measured  %s misses at N=%d: %.0f\n", level.Name, target, actual)
+	fmt.Printf("relative error: %+.1f%%\n", 100*(predicted-actual)/actual)
+}
+
+// collect runs the stencil at size n and merges all per-pattern
+// histograms at the cache-line granularity into one.
+func collect(n int64, hier *cache.Hierarchy) (*histo.Histogram, uint64) {
+	res, err := core.Analyze(workloads.Stencil(n, 2), core.Options{Hierarchy: hier})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, _ := res.Collector.Level("L3")
+	merged := histo.New()
+	for _, rd := range eng.Refs() {
+		merged.AddN(histo.Cold, rd.Cold)
+		for _, p := range rd.Patterns {
+			merged.Merge(p.Hist)
+		}
+	}
+	return merged, eng.TotalAccesses()
+}

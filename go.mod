@@ -1,0 +1,3 @@
+module reusetool
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package advise implements Table I of the paper: mapping each significant
+// reuse pattern to the program transformation most likely to improve it.
+//
+// Using S, D and C for the source, destination and carrying scopes of a
+// pattern:
+//
+//	large fragmentation misses on one array  -> split the array (AoS→SoA)
+//	many irregular misses, S ≡ D             -> data/computation reordering
+//	S ≡ D, C an outer loop of the same nest  -> loop interchange / dimension
+//	                                            interchange / blocking
+//	S ≢ D, C in the same routine             -> fuse S and D
+//	S ≢ D, S or D in a routine called from C -> strip-mine both, promote the
+//	                                            stripe loops out of C, fuse
+//	C a time-step or program main loop       -> time skewing, or accept the
+//	                                            misses as intrinsic
+//
+// The recommendations are exactly that — guidance; legality is left to the
+// developer, as in the paper.
+package advise
+
+import (
+	"fmt"
+	"sort"
+
+	"reusetool/internal/metrics"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+)
+
+// Kind enumerates transformation classes from Table I.
+type Kind uint8
+
+// Transformation kinds.
+const (
+	// KindSplitArray recommends splitting an array of records into one
+	// array per field.
+	KindSplitArray Kind = iota
+	// KindReorder recommends data or computation reordering for irregular
+	// access patterns.
+	KindReorder
+	// KindInterchange recommends loop interchange, dimension interchange,
+	// or blocking.
+	KindInterchange
+	// KindFuse recommends fusing the source and destination loops.
+	KindFuse
+	// KindStripMineFuse recommends strip-mining source and destination
+	// with a common stripe and promoting the stripe loops out of the
+	// carrying scope.
+	KindStripMineFuse
+	// KindTimeSkew marks reuse carried by time-step or main loops:
+	// time skewing if legal, otherwise intrinsic misses.
+	KindTimeSkew
+	// KindGeneral is the fallback when no specific rule applies.
+	KindGeneral
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSplitArray:
+		return "split-array"
+	case KindReorder:
+		return "reorder"
+	case KindInterchange:
+		return "interchange/blocking"
+	case KindFuse:
+		return "fuse"
+	case KindStripMineFuse:
+		return "strip-mine+fuse"
+	case KindTimeSkew:
+		return "time-skew/intrinsic"
+	case KindGeneral:
+		return "general"
+	}
+	return "?"
+}
+
+// Recommendation is one ranked piece of tuning advice.
+type Recommendation struct {
+	Kind Kind
+	// Array is set for KindSplitArray.
+	Array string
+	// Source, Dest, Carrying identify the pattern for pattern-derived
+	// advice (trace.NoScope for array-level advice).
+	Source, Dest, Carrying trace.ScopeID
+	// Misses is the predicted misses this advice addresses.
+	Misses float64
+	// Share is Misses / total level misses.
+	Share float64
+	// Rationale is a human-readable explanation.
+	Rationale string
+}
+
+// Advise analyzes one level of a report and returns recommendations for
+// every pattern (and fragmented array) whose misses exceed minShare of the
+// level's total, ranked by descending misses.
+func Advise(rep *metrics.Report, levelName string, minShare float64) []Recommendation {
+	lr := rep.Level(levelName)
+	if lr == nil || lr.TotalMisses == 0 {
+		return nil
+	}
+	tree := rep.Tree()
+	var out []Recommendation
+
+	// Array-level fragmentation advice.
+	for _, arr := range lr.TopFragArrays(0) {
+		fm := lr.FragMissesByArray[arr]
+		if fm/lr.TotalMisses < minShare {
+			continue
+		}
+		out = append(out, Recommendation{
+			Kind:     KindSplitArray,
+			Array:    arr,
+			Source:   trace.NoScope,
+			Dest:     trace.NoScope,
+			Carrying: trace.NoScope,
+			Misses:   fm,
+			Share:    fm / lr.TotalMisses,
+			Rationale: fmt.Sprintf(
+				"array %s loses %.0f misses at %s to cache-line fragmentation; split it into one array per field (AoS to SoA)",
+				arr, fm, levelName),
+		})
+	}
+
+	// Pattern-level advice. Several references in one loop often produce
+	// the same pattern (same array, same scopes); their recommendations
+	// merge, summing the addressed misses, before the threshold applies.
+	type recKey struct {
+		kind                   Kind
+		array                  string
+		source, dest, carrying trace.ScopeID
+	}
+	merged := map[recKey]*Recommendation{}
+	var order []recKey
+	for _, p := range lr.Patterns {
+		r := classify(tree, p)
+		k := recKey{kind: r.Kind, array: p.Array, source: r.Source, dest: r.Dest, carrying: r.Carrying}
+		if prev, ok := merged[k]; ok {
+			prev.Misses += p.Misses
+			continue
+		}
+		r.Misses = p.Misses
+		rc := r
+		merged[k] = &rc
+		order = append(order, k)
+	}
+	for _, k := range order {
+		r := merged[k]
+		r.Share = r.Misses / lr.TotalMisses
+		if r.Share < minShare {
+			continue
+		}
+		out = append(out, *r)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Misses > out[j].Misses })
+	return out
+}
+
+// classify applies the Table I rules to one pattern.
+func classify(tree *scope.Tree, p *metrics.PatternRecord) Recommendation {
+	rec := Recommendation{Source: p.Source, Dest: p.Dest, Carrying: p.Carrying}
+	sLabel := tree.Label(p.Source)
+	dLabel := tree.Label(p.Dest)
+	cLabel := tree.Label(p.Carrying)
+	sameSD := p.Source == p.Dest
+
+	carryingValid := tree.Valid(p.Carrying)
+
+	// Time-step / main loops first: Table I's "hard or impossible" row.
+	if carryingValid && tree.Node(p.Carrying).TimeStep {
+		rec.Kind = KindTimeSkew
+		rec.Rationale = fmt.Sprintf(
+			"reuse of %s in %s is carried by the time-step/main loop %s; apply time skewing if possible, otherwise these misses are intrinsic",
+			p.Array, dLabel, cLabel)
+		return rec
+	}
+
+	if p.Irregular && sameSD {
+		rec.Kind = KindReorder
+		rec.Rationale = fmt.Sprintf(
+			"irregular reuse of %s within %s (carried by %s); apply data or computation reordering",
+			p.Array, dLabel, cLabel)
+		return rec
+	}
+
+	if sameSD {
+		if carryingValid && tree.Node(p.Carrying).Kind == scope.KindLoop &&
+			tree.IsAncestor(p.Carrying, p.Dest) &&
+			tree.EnclosingRoutine(p.Carrying) == tree.EnclosingRoutine(p.Dest) {
+			rec.Kind = KindInterchange
+			rec.Rationale = fmt.Sprintf(
+				"reuse of %s in %s is carried by outer loop %s of the same nest; interchange the carrying loop inwards, interchange the array's dimensions, or block the nest",
+				p.Array, dLabel, cLabel)
+			return rec
+		}
+		rec.Kind = KindGeneral
+		rec.Rationale = fmt.Sprintf(
+			"reuse of %s within %s carried by %s; shorten the reuse distance across the carrying scope",
+			p.Array, dLabel, cLabel)
+		return rec
+	}
+
+	// S != D.
+	srcRoutine := tree.EnclosingRoutine(p.Source)
+	dstRoutine := tree.EnclosingRoutine(p.Dest)
+	carRoutine := trace.NoScope
+	if carryingValid {
+		carRoutine = tree.EnclosingRoutine(p.Carrying)
+	}
+	if srcRoutine == dstRoutine && srcRoutine == carRoutine && srcRoutine != trace.NoScope {
+		rec.Kind = KindFuse
+		rec.Rationale = fmt.Sprintf(
+			"%s is written/last touched in %s and reused in %s within the same routine (carried by %s); fuse the two loops",
+			p.Array, sLabel, dLabel, cLabel)
+		return rec
+	}
+	rec.Kind = KindStripMineFuse
+	rec.Rationale = fmt.Sprintf(
+		"%s is last touched in %s but reused in %s, across routines under %s; strip-mine both with a common stripe and promote the stripe loops out of the carrying scope, fusing them",
+		p.Array, sLabel, dLabel, cLabel)
+	return rec
+}

@@ -1,0 +1,236 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/trace"
+)
+
+func fullyAssoc(name string, lineBits uint, blocks int) *cache.Hierarchy {
+	return &cache.Hierarchy{
+		Name:   "test",
+		Levels: []cache.Level{{Name: name, LineBits: lineBits, Sets: 1, Assoc: blocks}},
+	}
+}
+
+func TestColdMissesOnly(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 16))
+	s.EnterScope(0)
+	for i := 0; i < 8; i++ {
+		s.Access(1, uint64(i)*64, 8, false)
+	}
+	// Second pass fits in cache: all hits.
+	for i := 0; i < 8; i++ {
+		s.Access(1, uint64(i)*64, 8, false)
+	}
+	s.ExitScope(0)
+	if got := s.Misses("C"); got != 8 {
+		t.Errorf("misses = %d, want 8 (all cold)", got)
+	}
+	if got := s.ColdMisses("C"); got != 8 {
+		t.Errorf("cold = %d, want 8", got)
+	}
+	if got := s.MissRate("C"); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestCapacityMisses(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 4))
+	s.EnterScope(0)
+	// Cyclic scan of 5 blocks through a 4-block LRU cache: everything
+	// misses forever (the classic LRU worst case).
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 5; i++ {
+			s.Access(1, uint64(i)*64, 8, false)
+		}
+	}
+	s.ExitScope(0)
+	if got := s.Misses("C"); got != 50 {
+		t.Errorf("misses = %d, want 50", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 2))
+	s.EnterScope(0)
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	s.Access(1, a, 8, false) // miss, cache: {a}
+	s.Access(1, b, 8, false) // miss, cache: {a,b}
+	s.Access(1, a, 8, false) // hit,  LRU=b
+	s.Access(1, c, 8, false) // miss, evicts b, cache: {a,c}
+	s.Access(1, a, 8, false) // hit
+	s.Access(1, b, 8, false) // miss (was evicted)
+	s.ExitScope(0)
+	if got := s.Misses("C"); got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+}
+
+func TestSetConflictMisses(t *testing.T) {
+	// Direct-mapped cache with 4 sets: blocks 0 and 4 conflict.
+	h := &cache.Hierarchy{Levels: []cache.Level{{Name: "DM", LineBits: 6, Sets: 4, Assoc: 1}}}
+	s := New(h)
+	s.EnterScope(0)
+	for i := 0; i < 10; i++ {
+		s.Access(1, 0*64, 8, false)
+		s.Access(1, 4*64, 8, false)
+	}
+	s.ExitScope(0)
+	// Every access misses: the two blocks ping-pong in set 0.
+	if got := s.Misses("DM"); got != 20 {
+		t.Errorf("misses = %d, want 20", got)
+	}
+	// Same pattern in a 2-way cache of the same size: only 2 cold misses.
+	h2 := &cache.Hierarchy{Levels: []cache.Level{{Name: "SA", LineBits: 6, Sets: 2, Assoc: 2}}}
+	s2 := New(h2)
+	s2.EnterScope(0)
+	for i := 0; i < 10; i++ {
+		s2.Access(1, 0*64, 8, false)
+		s2.Access(1, 4*64, 8, false)
+	}
+	s2.ExitScope(0)
+	if got := s2.Misses("SA"); got != 2 {
+		t.Errorf("2-way misses = %d, want 2", got)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 2))
+	s.EnterScope(0)
+	s.EnterScope(5)
+	s.Access(3, 0, 8, false)
+	s.Access(4, 64, 8, false)
+	s.ExitScope(5)
+	s.Access(3, 128, 8, false)
+	s.ExitScope(0)
+	byRef := s.MissesByRef("C")
+	if byRef[3] != 2 || byRef[4] != 1 {
+		t.Errorf("missByRef = %v", byRef)
+	}
+	byScope := s.MissesByScope("C")
+	if byScope[5] != 2 || byScope[0] != 1 {
+		t.Errorf("missByScope = %v", byScope)
+	}
+}
+
+func TestMultiLevelIndependence(t *testing.T) {
+	h := &cache.Hierarchy{Levels: []cache.Level{
+		{Name: "small", LineBits: 6, Sets: 1, Assoc: 2},
+		{Name: "big", LineBits: 6, Sets: 1, Assoc: 64},
+	}}
+	s := New(h)
+	s.EnterScope(0)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 8; i++ {
+			s.Access(1, uint64(i)*64, 8, false)
+		}
+	}
+	s.ExitScope(0)
+	if s.Misses("small") <= s.Misses("big") {
+		t.Errorf("small cache should miss more: small=%d big=%d", s.Misses("small"), s.Misses("big"))
+	}
+	if s.Misses("big") != 8 { // cold only
+		t.Errorf("big misses = %d, want 8", s.Misses("big"))
+	}
+}
+
+func TestBlockSpanningAccess(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 8))
+	s.EnterScope(0)
+	s.Access(1, 60, 8, false) // spans blocks 0 and 1
+	s.ExitScope(0)
+	if got := s.LevelAccesses("C"); got != 2 {
+		t.Errorf("level accesses = %d, want 2", got)
+	}
+	if got := s.Misses("C"); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+}
+
+func TestUnknownLevelName(t *testing.T) {
+	s := New(fullyAssoc("C", 6, 8))
+	if s.Misses("X") != 0 || s.MissRate("X") != 0 || s.MissesByRef("X") != nil {
+		t.Error("unknown level should report zeros")
+	}
+}
+
+// TestFullyAssocSimMatchesReuseDistance is the end-to-end invariant from
+// DESIGN.md: for any trace, misses of a fully-associative LRU simulation
+// equal the reuse-distance engine's exact threshold counts at the same
+// block size and capacity.
+func TestFullyAssocSimMatchesReuseDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		const (
+			lineBits = 6
+			capacity = 16
+		)
+		sim := New(fullyAssoc("C", lineBits, capacity))
+		eng := reusedist.New(reusedist.Config{BlockBits: lineBits, Thresholds: []uint64{capacity}})
+		rng := rand.New(rand.NewSource(seed))
+		m := trace.Multi{sim, eng}
+		m.EnterScope(0)
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(64)) * 64
+			if rng.Intn(4) == 0 {
+				addr = uint64(rng.Intn(4096)) * 64
+			}
+			m.Access(trace.RefID(rng.Intn(4)), addr, 8, rng.Intn(2) == 0)
+		}
+		m.ExitScope(0)
+		return sim.Misses("C") == eng.TotalMissAt(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetAssocSimVsProbabilisticModel checks that the paper's binomial
+// model tracks simulated set-associative misses on a random workload to
+// within a modest relative error.
+func TestSetAssocSimVsProbabilisticModel(t *testing.T) {
+	level := cache.Level{Name: "L", LineBits: 6, Sets: 64, Assoc: 4}
+	h := &cache.Hierarchy{Levels: []cache.Level{level}}
+	sim := New(h)
+	eng := reusedist.New(reusedist.Config{BlockBits: 6})
+	m := trace.Multi{sim, eng}
+	rng := rand.New(rand.NewSource(9))
+	m.EnterScope(0)
+	for i := 0; i < 200000; i++ {
+		// Working set ~2x capacity so both hits and misses occur.
+		addr := uint64(rng.Intn(512)) * 64
+		m.Access(1, addr, 8, false)
+	}
+	m.ExitScope(0)
+
+	var predicted float64
+	for _, rd := range eng.Refs() {
+		predicted += float64(rd.Cold)
+		for _, p := range rd.Patterns {
+			predicted += level.ExpectedMisses(p.Hist)
+		}
+	}
+	simMisses := float64(sim.Misses("L"))
+	rel := (predicted - simMisses) / simMisses
+	if rel < -0.15 || rel > 0.15 {
+		t.Errorf("model %.0f vs sim %.0f: relative error %.2f exceeds 15%%", predicted, simMisses, rel)
+	}
+}
+
+func BenchmarkSimItanium2(b *testing.B) {
+	s := New(cache.Itanium2())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 24))
+	}
+	s.EnterScope(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(1, addrs[i&0xffff], 8, false)
+	}
+}

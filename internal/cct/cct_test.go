@@ -1,0 +1,150 @@
+package cct
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+func testLevel() cache.Level {
+	return cache.Level{Name: "C", LineBits: 6, Sets: 1, Assoc: 8, Latency: 1}
+}
+
+func TestContextSeparation(t *testing.T) {
+	// work() streams an array too big for the cache; called from two
+	// sites, it must get two CCT nodes with separate counts.
+	p := ir.NewProgram("cct")
+	n := p.Param("N", 256)
+	a := p.AddArray("A", 8, ir.Mul(n, ir.C(8)))
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	work := p.AddRoutine("work", "f", 10)
+	work.Body = []ir.Stmt{ir.For(i, ir.C(0), ir.Sub(ir.Mul(n, ir.C(8)), ir.C(1)), ir.Do(a.Read(i)))}
+	siteA := p.AddRoutine("siteA", "f", 20)
+	siteA.Body = []ir.Stmt{ir.CallTo(work)}
+	siteB := p.AddRoutine("siteB", "f", 30)
+	siteB.Body = []ir.Stmt{ir.CallTo(work), ir.CallTo(work)} // calls twice
+	main.Body = []ir.Stmt{ir.CallTo(siteA), ir.CallTo(siteB)}
+	p.Main = main
+
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfiler(testLevel())
+	if _, err := interp.Run(info, nil, prof); err != nil {
+		t.Fatal(err)
+	}
+
+	workScope := workloads.FindScope(info, scope.KindRoutine, "work")
+	nodes := prof.NodesForScope(workScope)
+	if len(nodes) != 2 {
+		t.Fatalf("work has %d CCT nodes, want 2 (one per call path)", len(nodes))
+	}
+	// Inclusive misses under siteB's work node are about twice siteA's
+	// (two calls vs one; the array never fits, so every pass misses the
+	// same amount).
+	incl := prof.InclusiveMisses()
+	var a1, a2 uint64
+	for _, id := range nodes {
+		parent := prof.Node(prof.Node(id).Parent)
+		switch info.Scopes.Node(parent.Scope).Name {
+		case "siteA":
+			a1 = incl[id]
+		case "siteB":
+			a2 = incl[id]
+		}
+	}
+	if a1 == 0 || a2 == 0 {
+		t.Fatalf("missing per-context misses: %d %d", a1, a2)
+	}
+	ratio := float64(a2) / float64(a1)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("siteB/siteA miss ratio = %.2f, want ~2", ratio)
+	}
+	// Total misses in the tree match the probe's count.
+	if incl[prof.Root()] != prof.TotalMisses() {
+		t.Errorf("inclusive root %d != probe total %d", incl[prof.Root()], prof.TotalMisses())
+	}
+}
+
+func TestLoopNodesIncluded(t *testing.T) {
+	info, err := workloads.Stencil(32, 2).Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfiler(testLevel())
+	if _, err := interp.Run(info, nil, prof); err != nil {
+		t.Fatal(err)
+	}
+	// The tree includes loop scopes (t, j, i) under main.
+	var loopNodes int
+	for id := NodeID(0); int(id) < prof.Len(); id++ {
+		s := prof.Node(id).Scope
+		if info.Scopes.Valid(s) && info.Scopes.Node(s).Kind == scope.KindLoop {
+			loopNodes++
+		}
+	}
+	if loopNodes < 3 {
+		t.Errorf("loop nodes = %d, want >= 3", loopNodes)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	info, err := workloads.Stencil(32, 2).Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfiler(testLevel())
+	if _, err := interp.Run(info, nil, prof); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	prof.Print(&buf, info.Scopes, 0.01)
+	out := buf.String()
+	for _, want := range []string{"calling-context tree", "routine main", "loop i", "incl="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print missing %q:\n%s", want, out)
+		}
+	}
+	// Pruned print is shorter.
+	var pruned bytes.Buffer
+	prof.Print(&pruned, info.Scopes, 2.0)
+	if pruned.Len() >= buf.Len() {
+		t.Error("pruning did not shrink output")
+	}
+}
+
+func TestUnbalancedExitPanics(t *testing.T) {
+	prof := NewProfiler(testLevel())
+	defer func() {
+		if recover() == nil {
+			t.Error("exit at root should panic")
+		}
+	}()
+	prof.ExitScope(0)
+}
+
+func TestReplayFromRecorder(t *testing.T) {
+	// The profiler consumes any trace.Handler stream, including replays.
+	var rec trace.Recorder
+	rec.EnterScope(1)
+	rec.Access(0, 0, 8, false)
+	rec.Access(0, 4096, 8, false)
+	rec.ExitScope(1)
+	prof := NewProfiler(testLevel())
+	rec.Replay(prof)
+	if prof.TotalMisses() != 2 {
+		t.Errorf("misses = %d, want 2 cold", prof.TotalMisses())
+	}
+	if prof.Len() != 2 { // root + scope 1
+		t.Errorf("nodes = %d, want 2", prof.Len())
+	}
+}

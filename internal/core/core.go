@@ -1,0 +1,238 @@
+// Package core is the top-level façade of the reuse-distance analysis
+// toolkit: it wires the workload interpreter, the online reuse-distance
+// engines, the static fragmentation analysis, the cache models, and the
+// metric/advice computation into two entry points:
+//
+//   - Analyze runs the full paper pipeline (Sections II-IV): instrumented
+//     execution collecting per-pattern reuse-distance histograms, static
+//     spatial analysis, miss prediction, per-scope attribution, and
+//     Table I recommendations.
+//
+//   - Simulate runs only the execution-driven cache simulator — the
+//     stand-in for the paper's hardware-counter measurements — which is an
+//     order of magnitude faster and is what the Figure 8/11 parameter
+//     sweeps use.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"reusetool/internal/advise"
+	"reusetool/internal/cache"
+	"reusetool/internal/cachesim"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/metrics"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/scope"
+	"reusetool/internal/staticanalysis"
+	"reusetool/internal/timing"
+	"reusetool/internal/trace"
+	"reusetool/internal/viewer"
+	"reusetool/internal/xmlout"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Hierarchy is the target machine; nil selects cache.ScaledItanium2.
+	Hierarchy *cache.Hierarchy
+	// Params override program parameter defaults.
+	Params map[string]int64
+	// Init fills data arrays before execution (see interp.WithInit).
+	Init func(*interp.Machine) error
+	// Model selects the histogram-to-miss conversion (default SetAssoc,
+	// the paper's predictor).
+	Model metrics.Model
+	// HistRes overrides the histogram resolution (0 = default).
+	HistRes int
+	// UseFenwick selects the Fenwick order-statistic structure.
+	UseFenwick bool
+	// Simulate additionally runs the execution-driven cache simulator on
+	// the same trace (for prediction-vs-simulation comparisons).
+	Simulate bool
+	// TrackContext collects reuse patterns separately per calling context
+	// (routine call path) — the paper's Section IV extension. Off by
+	// default, as in the paper, to bound overhead.
+	TrackContext bool
+	// Tee, when non-nil, additionally receives the raw event stream
+	// (e.g. a tracefile.Writer recording the run).
+	Tee trace.Handler
+}
+
+func (o *Options) hierarchy() *cache.Hierarchy {
+	if o.Hierarchy != nil {
+		return o.Hierarchy
+	}
+	return cache.ScaledItanium2()
+}
+
+// Result bundles everything one analysis produces.
+type Result struct {
+	Info      *ir.Info
+	Hier      *cache.Hierarchy
+	Report    *metrics.Report
+	Static    *staticanalysis.Result
+	Collector *reusedist.Collector
+	Run       *interp.Result
+	// Sim is non-nil when Options.Simulate was set.
+	Sim *cachesim.Sim
+}
+
+// Analyze runs the full pipeline on a program.
+func Analyze(prog *ir.Program, opts Options) (*Result, error) {
+	info, err := prog.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return AnalyzeInfo(info, opts)
+}
+
+// AnalyzeInfo runs the full pipeline on an already finalized program.
+func AnalyzeInfo(info *ir.Info, opts Options) (*Result, error) {
+	hier := opts.hierarchy()
+	base := reusedist.Config{HistRes: opts.HistRes, UseFenwick: opts.UseFenwick}
+	if opts.TrackContext {
+		tree := info.Scopes
+		base.ContextFilter = func(s trace.ScopeID) bool {
+			return tree.Valid(s) && tree.Node(s).Kind == scope.KindRoutine
+		}
+	}
+	col := reusedist.NewCollectorWith(hier.Granularities(), base)
+
+	var handler trace.Handler = col
+	var sim *cachesim.Sim
+	if opts.Simulate {
+		sim = cachesim.New(hier)
+		handler = trace.Multi{col, sim}
+	}
+	if opts.Tee != nil {
+		if m, ok := handler.(trace.Multi); ok {
+			handler = append(m, opts.Tee)
+		} else {
+			handler = trace.Multi{handler, opts.Tee}
+		}
+	}
+
+	var runOpts []interp.Option
+	if opts.Init != nil {
+		runOpts = append(runOpts, interp.WithInit(opts.Init))
+	}
+	run, err := interp.Run(info, opts.Params, handler, runOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+
+	mach, err := interp.Layout(info, opts.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	static := staticanalysis.Analyze(info, mach, staticanalysis.TripsFromRun(run, 1))
+
+	rep, err := metrics.Build(info, col, static, hier, opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Report:    rep,
+		Static:    static,
+		Collector: col,
+		Run:       run,
+		Sim:       sim,
+	}, nil
+}
+
+// AnalyzeSaved rebuilds a full report from previously collected
+// reuse-distance data (see internal/persist): no instrumented run happens;
+// the static analysis and miss predictions are recomputed against
+// opts.Hierarchy — which may differ from the collection-time machine as
+// long as the block-size granularities match.
+func AnalyzeSaved(info *ir.Info, col *reusedist.Collector,
+	trips staticanalysis.Trips, opts Options) (*Result, error) {
+
+	hier := opts.hierarchy()
+	mach, err := interp.Layout(info, opts.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	if trips == nil {
+		trips = staticanalysis.ConstTrips(1)
+	}
+	static := staticanalysis.Analyze(info, mach, trips)
+	rep, err := metrics.Build(info, col, static, hier, opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Report:    rep,
+		Static:    static,
+		Collector: col,
+	}, nil
+}
+
+// SimResult is the output of Simulate.
+type SimResult struct {
+	Info *ir.Info
+	Hier *cache.Hierarchy
+	Sim  *cachesim.Sim
+	Run  *interp.Result
+	// Accesses counts executed memory references.
+	Accesses uint64
+}
+
+// Misses reports total simulated misses at a level.
+func (s *SimResult) Misses(level string) uint64 { return s.Sim.Misses(level) }
+
+// Cycles evaluates the timing model on the simulated miss counts.
+func (s *SimResult) Cycles(nonStallScale float64) timing.Breakdown {
+	m := timing.New(s.Hier)
+	misses := map[string]float64{}
+	for _, l := range s.Hier.Levels {
+		misses[l.Name] = float64(s.Sim.Misses(l.Name))
+	}
+	return m.Cycles(s.Accesses, misses, nonStallScale)
+}
+
+// Simulate runs only the cache simulator over a program's trace.
+func Simulate(prog *ir.Program, opts Options) (*SimResult, error) {
+	info, err := prog.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	hier := opts.hierarchy()
+	sim := cachesim.New(hier)
+	var runOpts []interp.Option
+	if opts.Init != nil {
+		runOpts = append(runOpts, interp.WithInit(opts.Init))
+	}
+	run, err := interp.Run(info, opts.Params, sim, runOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+	return &SimResult{Info: info, Hier: hier, Sim: sim, Run: run, Accesses: run.Accesses}, nil
+}
+
+// Advice returns ranked Table I recommendations for one level.
+func (r *Result) Advice(level string, minShare float64) []advise.Recommendation {
+	return advise.Advise(r.Report, level, minShare)
+}
+
+// WriteXML serializes the report in the hpcviewer-style XML format.
+func (r *Result) WriteXML(w io.Writer) error {
+	data, err := xmlout.Marshal(r.Report)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSummary renders the standard text views (scope tree, carried
+// misses, patterns, fragmentation, advice) for one level.
+func (r *Result) WriteSummary(w io.Writer, level string, minShare float64) error {
+	return viewer.Summary(w, r.Report, level, minShare)
+}

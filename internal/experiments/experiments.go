@@ -1,0 +1,309 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V). Each experiment is a plain function returning
+// typed rows so that the root-level benchmarks, the cmd/experiments tool
+// and the golden-shape tests all share one implementation.
+//
+// Problem sizes and the cache hierarchy are scaled down from the paper's
+// (see DESIGN.md): results are reported with the same normalization the
+// paper uses (per cell / per particle / per time step), so curve shapes
+// are directly comparable even though absolute counts are not.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/core"
+	"reusetool/internal/metrics"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+// CarrierShare is one row of a carried-misses figure (Fig 5, Fig 10).
+type CarrierShare struct {
+	Scope string
+	Share float64 // fraction of the level's total misses
+}
+
+// carrierShares extracts the top carried-miss shares for one level,
+// merging scopes by label (the wavefront loops mi and k together form the
+// paper's jkm loop).
+func carrierShares(rep *metrics.Report, level string, merge map[string]string, top int) []CarrierShare {
+	lr := rep.Level(level)
+	if lr == nil {
+		return nil
+	}
+	tree := rep.Tree()
+	agg := map[string]float64{}
+	for id, carried := range lr.CarriedByScope {
+		if carried == 0 {
+			continue
+		}
+		n := tree.Node(trace.ScopeID(id))
+		label := n.Name
+		if n.Kind == scope.KindLoop {
+			label = "loop " + n.Name
+		} else if n.Kind == scope.KindRoutine {
+			label = "routine " + n.Name
+		}
+		if m, ok := merge[n.Name]; ok {
+			label = m
+		}
+		agg[label] += carried
+	}
+	out := make([]CarrierShare, 0, len(agg))
+	for label, carried := range agg {
+		out = append(out, CarrierShare{Scope: label, Share: carried / lr.TotalMisses})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Scope < out[j].Scope
+	})
+	if top > 0 && top < len(out) {
+		out = out[:top]
+	}
+	return out
+}
+
+func findShare(shares []CarrierShare, label string) float64 {
+	for _, s := range shares {
+		if s.Scope == label {
+			return s.Share
+		}
+	}
+	return 0
+}
+
+// sweep3dMerge folds the wavefront traversal loops into the paper's jkm
+// label.
+var sweep3dMerge = map[string]string{
+	"mi":  "loop jkm",
+	"k":   "loop jkm",
+	"mib": "loop jkm",
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: number of carried misses in Sweep3D.
+// ---------------------------------------------------------------------
+
+// Fig5Result holds carried-miss shares per level for Sweep3D.
+type Fig5Result struct {
+	Mesh   int64
+	Shares map[string][]CarrierShare // level -> ranked shares
+}
+
+// Share returns the carried share of a scope label at a level.
+func (r *Fig5Result) Share(level, label string) float64 {
+	return findShare(r.Shares[level], label)
+}
+
+// Fig5 reproduces the paper's Figure 5: the fraction of L2, L3 and TLB
+// misses carried by each Sweep3D scope. The paper reports idiag carrying
+// ~75% of L2 and ~68% of L3 misses, iq ~10.5%/22%, and jkm ~79% of TLB
+// misses with idiag ~20%.
+func Fig5(cfg workloads.Sweep3DConfig, hier *cache.Hierarchy) (*Fig5Result, error) {
+	prog, err := workloads.Sweep3D(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{Mesh: cfg.N, Shares: map[string][]CarrierShare{}}
+	for _, l := range res.Hier.Levels {
+		out.Shares[l.Name] = carrierShares(res.Report, l.Name, sweep3dMerge, 8)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Table II: breakdown of L2 misses in Sweep3D.
+// ---------------------------------------------------------------------
+
+// Table2Row is one row of the paper's Table II: an array, the carrying
+// scope of the reuse, and the percentage of all L2 misses.
+type Table2Row struct {
+	Array    string
+	Carrying string
+	Share    float64
+}
+
+// Table2Result aggregates the breakdown.
+type Table2Result struct {
+	Rows []Table2Row
+	// ArrayTotal is each array's total share of L2 misses ("ALL" rows).
+	ArrayTotal map[string]float64
+}
+
+// Table2 reproduces the paper's Table II: the main reuse patterns
+// contributing L2 misses in Sweep3D, broken down by array and carrying
+// scope. The paper's totals: src 26.7%, flux 26.9%, face 19.7%,
+// sigt/phikb/phijb 18.4%, with idiag carrying the majority of each.
+func Table2(cfg workloads.Sweep3DConfig, hier *cache.Hierarchy) (*Table2Result, error) {
+	prog, err := workloads.Sweep3D(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	if err != nil {
+		return nil, err
+	}
+	lr := res.Report.Level("L2")
+	if lr == nil {
+		return nil, fmt.Errorf("no L2 level")
+	}
+	tree := res.Info.Scopes
+
+	out := &Table2Result{ArrayTotal: map[string]float64{}}
+	type key struct{ arr, carry string }
+	agg := map[key]float64{}
+	for _, p := range lr.Patterns {
+		n := tree.Node(p.Carrying)
+		carry := n.Name
+		if m, ok := sweep3dMerge[carry]; ok {
+			carry = m[len("loop "):]
+		}
+		agg[key{p.Array, carry}] += p.Misses
+		out.ArrayTotal[p.Array] += p.Misses / lr.TotalMisses
+	}
+	for k, m := range agg {
+		out.Rows = append(out.Rows, Table2Row{Array: k.arr, Carrying: k.carry, Share: m / lr.TotalMisses})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Array != out.Rows[j].Array {
+			return out.ArrayTotal[out.Rows[i].Array] > out.ArrayTotal[out.Rows[j].Array]
+		}
+		return out.Rows[i].Share > out.Rows[j].Share
+	})
+	return out, nil
+}
+
+// RowShare returns the share for one (array, carrying) pair.
+func (t *Table2Result) RowShare(array, carrying string) float64 {
+	for _, r := range t.Rows {
+		if r.Array == array && r.Carrying == carrying {
+			return r.Share
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: Sweep3D miss and cycle curves vs mesh size.
+// ---------------------------------------------------------------------
+
+// Fig8Row is one point of the Figure 8 curves: a variant at a mesh size,
+// with per-cell per-time-step normalized metrics (the paper's y axes).
+type Fig8Row struct {
+	Variant                          string
+	Mesh                             int64
+	L2PerCell, L3PerCell, TLBPerCell float64
+	CyclesPerCell                    float64
+	NonStallPerCell                  float64
+}
+
+// Fig8 reproduces the paper's Figures 8(a)-(d): L2/L3/TLB misses and
+// cycles per cell per time step as the mesh size grows, for the original
+// code, mi-blocking factors 1/2/3/6, and blocking 6 plus dimension
+// interchange. The expected shape: block 1 matches the original, misses
+// fall by integer factors as the block size grows, and the tuned code's
+// cycles stay nearly flat with mesh size.
+func Fig8(meshes []int64, hier *cache.Hierarchy) ([]Fig8Row, error) {
+	var cfgs []workloads.Sweep3DConfig
+	for _, n := range meshes {
+		cfgs = append(cfgs, workloads.Sweep3DVariants(n)...)
+	}
+	rows := make([]Fig8Row, len(cfgs))
+	err := forEachParallel(len(cfgs), func(i int) error {
+		cfg := cfgs[i]
+		prog, err := workloads.Sweep3D(cfg)
+		if err != nil {
+			return err
+		}
+		sr, err := core.Simulate(prog, core.Options{Hierarchy: hier})
+		if err != nil {
+			return err
+		}
+		cells := float64(cfg.N * cfg.N * cfg.N * cfg.TimeSteps)
+		b := sr.Cycles(1)
+		rows[i] = Fig8Row{
+			Variant:         cfg.Name(),
+			Mesh:            cfg.N,
+			L2PerCell:       float64(sr.Misses("L2")) / cells,
+			L3PerCell:       float64(sr.Misses("L3")) / cells,
+			TLBPerCell:      float64(sr.Misses("TLB")) / cells,
+			CyclesPerCell:   b.Total / cells,
+			NonStallPerCell: b.NonStall / cells,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// forEachParallel runs f(0..n-1) across CPUs, returning the first error.
+// Experiment sweeps are embarrassingly parallel: each point simulates an
+// independent workload configuration.
+func forEachParallel(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Fig8Find returns the row for a variant at a mesh size.
+func Fig8Find(rows []Fig8Row, variant string, mesh int64) *Fig8Row {
+	for i := range rows {
+		if rows[i].Variant == variant && rows[i].Mesh == mesh {
+			return &rows[i]
+		}
+	}
+	return nil
+}

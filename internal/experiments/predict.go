@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/core"
+	"reusetool/internal/histo"
+	"reusetool/internal/model"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+// PredictRow compares a cross-input miss prediction against measurement.
+type PredictRow struct {
+	Mesh      int64
+	Predicted float64
+	Measured  float64
+}
+
+// RelErr is (predicted-measured)/measured.
+func (r PredictRow) RelErr() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return (r.Predicted - r.Measured) / r.Measured
+}
+
+// patKey identifies a reuse pattern across runs of the same program at
+// different sizes: program structure (and hence scope and reference IDs)
+// is identical, so the triple is stable.
+type patKey struct {
+	ref      trace.RefID
+	source   trace.ScopeID
+	carrying trace.ScopeID
+}
+
+// collection holds one training run's data at one level granularity.
+type collection struct {
+	mesh     int64
+	patterns map[patKey]*histo.Histogram
+	cold     float64
+}
+
+// PredictSweep3D implements the paper's cross-input modeling (Section II,
+// ref [14]): reuse-distance histograms collected for Sweep3D at the
+// training mesh sizes are fitted with scaling models — per reuse pattern
+// when perPattern is true, on one merged histogram otherwise — and used to
+// predict the miss count at unmeasured target sizes, which is then
+// validated against an actual run. The paper argues the finer per-pattern
+// granularity yields more accurate models.
+func PredictSweep3D(train, targets []int64, levelName string, hier *cache.Hierarchy, perPattern bool) ([]PredictRow, error) {
+	if len(train) < 2 {
+		return nil, fmt.Errorf("need at least 2 training sizes")
+	}
+	level := hier.Level(levelName)
+	if level == nil {
+		return nil, fmt.Errorf("unknown level %q", levelName)
+	}
+
+	collect := func(n int64) (*collection, error) {
+		cfg := workloads.DefaultSweep3D()
+		cfg.N = n
+		prog, err := workloads.Sweep3D(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+		if err != nil {
+			return nil, err
+		}
+		eng, _ := res.Collector.Level(levelName)
+		c := &collection{mesh: n, patterns: map[patKey]*histo.Histogram{}}
+		for _, rd := range eng.Refs() {
+			c.cold += float64(rd.Cold)
+			for _, p := range rd.Patterns {
+				k := patKey{ref: rd.Ref, source: p.Key.Source, carrying: p.Key.Carrying}
+				if h, ok := c.patterns[k]; ok {
+					h.Merge(p.Hist)
+				} else {
+					c.patterns[k] = p.Hist.Clone()
+				}
+			}
+		}
+		return c, nil
+	}
+
+	var cols []*collection
+	ns := make([]float64, 0, len(train))
+	for _, n := range train {
+		c, err := collect(n)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		ns = append(ns, float64(n))
+	}
+
+	// Fit the cold (compulsory) series once.
+	colds := make([]float64, len(cols))
+	for i, c := range cols {
+		colds[i] = c.cold
+	}
+	coldFit, err := model.FitBest(ns, colds, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	type predictor func(n float64) float64
+
+	var predictCapacity predictor
+	if perPattern {
+		// One model per reuse pattern seen in every training run.
+		keys := map[patKey]bool{}
+		for k := range cols[0].patterns {
+			keys[k] = true
+		}
+		var fits []*model.HistModel
+		for k := range keys {
+			hists := make([]*histo.Histogram, 0, len(cols))
+			for _, c := range cols {
+				h := c.patterns[k]
+				if h == nil {
+					h = histo.New()
+				}
+				hists = append(hists, h)
+			}
+			m, err := model.FitHistograms(ns, hists, 32, nil)
+			if err != nil {
+				return nil, err
+			}
+			fits = append(fits, m)
+		}
+		predictCapacity = func(n float64) float64 {
+			var sum float64
+			for _, m := range fits {
+				sum += m.PredictMisses(*level, n)
+			}
+			return sum
+		}
+	} else {
+		// One model for the whole program's merged histogram.
+		hists := make([]*histo.Histogram, len(cols))
+		for i, c := range cols {
+			merged := histo.New()
+			for _, h := range c.patterns {
+				merged.Merge(h)
+			}
+			hists[i] = merged
+		}
+		m, err := model.FitHistograms(ns, hists, 128, nil)
+		if err != nil {
+			return nil, err
+		}
+		predictCapacity = func(n float64) float64 { return m.PredictMisses(*level, n) }
+	}
+
+	var rows []PredictRow
+	for _, n := range targets {
+		measured, err := measureSweep3D(n, levelName, hier)
+		if err != nil {
+			return nil, err
+		}
+		pred := predictCapacity(float64(n)) + clampNonNeg(coldFit.Eval(float64(n)))
+		rows = append(rows, PredictRow{Mesh: n, Predicted: pred, Measured: measured})
+	}
+	return rows, nil
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// measureSweep3D runs the workload at mesh n and returns the predicted
+// misses from its own (measured) histograms — the ground truth the scaled
+// models are judged against.
+func measureSweep3D(n int64, levelName string, hier *cache.Hierarchy) (float64, error) {
+	cfg := workloads.DefaultSweep3D()
+	cfg.N = n
+	prog, err := workloads.Sweep3D(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	if err != nil {
+		return 0, err
+	}
+	return res.Report.Level(levelName).TotalMisses, nil
+}

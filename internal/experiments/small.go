@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/core"
+	"reusetool/internal/interp"
+	"reusetool/internal/staticanalysis"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// Figure 1: loop interchange example.
+// ---------------------------------------------------------------------
+
+// Fig1Result compares the paper's Figure 1 loop orders.
+type Fig1Result struct {
+	// MissesBad / MissesGood are total L2 misses of variant (a) (row-wise
+	// inner loop) and variant (b) (interchanged).
+	MissesBad, MissesGood float64
+	// CarriedByOuterBad is the share of variant (a)'s misses carried by
+	// the outer loop — the spatial reuse the interchange moves inward.
+	CarriedByOuterBad float64
+}
+
+// Fig1 quantifies the paper's Figure 1 example: interchanging the loops
+// moves the outer loop's spatial reuse inward, collapsing the miss count.
+func Fig1(n, m int64, hier *cache.Hierarchy) (*Fig1Result, error) {
+	params := map[string]int64{"N": n, "M": m}
+	bad, err := core.Analyze(workloads.Fig1(false), core.Options{Hierarchy: hier, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	good, err := core.Analyze(workloads.Fig1(true), core.Options{Hierarchy: hier, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{
+		MissesBad:  bad.Report.Level("L2").TotalMisses,
+		MissesGood: good.Report.Level("L2").TotalMisses,
+	}
+	// The outer loop of variant (a) is the i loop.
+	shares := carrierShares(bad.Report, "L2", nil, 4)
+	out.CarriedByOuterBad = findShare(shares, "loop i")
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: fragmentation factors.
+// ---------------------------------------------------------------------
+
+// Fig2Result holds the fragmentation factors of the paper's Figure 2
+// example (ground truth: A = 0.5, B = 0).
+type Fig2Result struct {
+	FragA, FragB float64
+	ReuseGroupsA int
+	ReuseGroupsB int
+	StrideBytes  int64
+}
+
+// Fig2 runs the Section III static analysis on the Figure 2 loop nest.
+func Fig2(n, m int64) (*Fig2Result, error) {
+	prog := workloads.Fig2()
+	info, err := prog.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	params := map[string]int64{"N": n, "M": m}
+	mach, err := interp.Layout(info, params)
+	if err != nil {
+		return nil, err
+	}
+	run, err := interp.Run(info, params, trace.Discard{})
+	if err != nil {
+		return nil, err
+	}
+	res := staticanalysis.Analyze(info, mach, staticanalysis.TripsFromRun(run, 1))
+	out := &Fig2Result{FragA: math.NaN(), FragB: math.NaN()}
+	for _, g := range res.Groups {
+		switch g.Array.Name {
+		case "A":
+			out.FragA = g.Frag
+			out.ReuseGroupsA = len(g.ReuseGroups)
+			out.StrideBytes = g.Stride
+		case "B":
+			out.FragB = g.Frag
+			out.ReuseGroupsB = len(g.ReuseGroups)
+		}
+	}
+	return out, nil
+}

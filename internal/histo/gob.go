@@ -1,0 +1,47 @@
+package histo
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// histogramWire is the serialized form of a Histogram.
+type histogramWire struct {
+	Sub    uint64
+	Counts map[uint32]uint64
+	Cold   uint64
+	Total  uint64
+	MaxD   uint64
+}
+
+// GobEncode implements gob.GobEncoder, allowing collected reuse-distance
+// data to be persisted and re-analyzed offline (the paper's workflow:
+// collect once, predict for many architectures).
+func (h *Histogram) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histogramWire{
+		Sub:    h.sub,
+		Counts: h.counts,
+		Cold:   h.cold,
+		Total:  h.total,
+		MaxD:   h.maxD,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(data []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	h.sub = w.Sub
+	h.counts = w.Counts
+	if h.counts == nil {
+		h.counts = make(map[uint32]uint64)
+	}
+	h.cold = w.Cold
+	h.total = w.Total
+	h.maxD = w.MaxD
+	return nil
+}

@@ -1,0 +1,69 @@
+package ir
+
+// Builder helpers. Workload constructors read much like the Fortran loop
+// nests in the paper:
+//
+//	For(j, C(0), Sub(m, C(1)),
+//	    For(i, C(0), Sub(n, C(1)),
+//	        Do(a.WriteRef(i, j), a.Read(i, j), b.Read(i, j))))
+
+// For builds a unit-stride loop over [lo, hi].
+func For(v *Var, lo, hi Expr, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: Const(1), Body: body}
+}
+
+// ForStep builds a loop over [lo, hi] with the given constant step.
+func ForStep(v *Var, lo, hi, step Expr, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: step, Body: body}
+}
+
+// At tags the loop with a source line for reports and returns it.
+func (l *Loop) At(line int) *Loop {
+	l.Line = line
+	return l
+}
+
+// AsTimeStep marks the loop as a time-step/main loop (Table I) and
+// returns it.
+func (l *Loop) AsTimeStep() *Loop {
+	l.TimeStep = true
+	return l
+}
+
+// Set builds a Let statement.
+func Set(v *Var, e Expr) *Let { return &Let{Var: v, E: e} }
+
+// When builds an If with no else branch.
+func When(cond Cond, then ...Stmt) *If { return &If{Cond: cond, Then: then} }
+
+// WhenElse builds an If with both branches.
+func WhenElse(cond Cond, then, els []Stmt) *If { return &If{Cond: cond, Then: then, Else: els} }
+
+// Do builds an Access statement over the given references.
+func Do(refs ...*Ref) *Access { return &Access{Refs: refs} }
+
+// CallTo builds a Call statement.
+func CallTo(r *Routine) *Call { return &Call{Callee: r} }
+
+// Comparison condition constructors.
+
+// Eq builds l == r.
+func Eq(l, r Expr) Cond { return Cond{Op: CmpEq, L: l, R: r} }
+
+// Ne builds l != r.
+func Ne(l, r Expr) Cond { return Cond{Op: CmpNe, L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Cond { return Cond{Op: CmpLt, L: l, R: r} }
+
+// Le builds l <= r.
+func Le(l, r Expr) Cond { return Cond{Op: CmpLe, L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Cond { return Cond{Op: CmpGt, L: l, R: r} }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Cond { return Cond{Op: CmpGe, L: l, R: r} }
+
+// Pos reports the array's position within its program's array list.
+func (a *Array) Pos() int { return a.idx }

@@ -1,0 +1,264 @@
+// Package ir is a loop-nest program representation: the substrate this
+// repository substitutes for the paper's binary instrumentation (see
+// DESIGN.md).
+//
+// A Program owns arrays, routines, and a main routine. Statements are
+// loops, scalar assignments, conditionals, memory-access statements and
+// calls. Integer expressions over loop variables and program parameters
+// drive loop bounds and array subscripts; a Load expression reads an
+// integer value from an array, modeling indirect (gather/scatter) access
+// patterns.
+//
+// The same representation serves both sides of the tool: the interpreter
+// (internal/interp) executes it to produce the instrumentation event
+// stream, and the symbolic analysis (internal/symbolic) recovers the
+// address and stride formulas the paper extracts from machine code.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an integer expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Const is an integer literal.
+type Const int64
+
+func (Const) exprNode() {}
+
+// String implements fmt.Stringer.
+func (c Const) String() string { return fmt.Sprintf("%d", int64(c)) }
+
+// Var references a loop variable, a Let-bound variable, or a program
+// parameter. Vars are interned per Program; the slot is assigned at
+// finalize time and used by the interpreter.
+type Var struct {
+	Name string
+	slot int
+}
+
+func (*Var) exprNode() {}
+
+// String implements fmt.Stringer.
+func (v *Var) String() string { return v.Name }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv // truncated toward zero, like Go
+	OpMod
+	OpMin
+	OpMax
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return "?"
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Bin) exprNode() {}
+
+// String implements fmt.Stringer.
+func (b *Bin) String() string {
+	if b.Op == OpMin || b.Op == OpMax {
+		return fmt.Sprintf("%s(%s, %s)", b.Op, b.L, b.R)
+	}
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Load reads an integer element of Array at Index. It models indirect
+// addressing: subscripts computed from data (index arrays, particle
+// coordinates).
+type Load struct {
+	Array *Array
+	Index []Expr
+}
+
+func (*Load) exprNode() {}
+
+// String implements fmt.Stringer.
+func (l *Load) String() string {
+	idx := make([]string, len(l.Index))
+	for i, e := range l.Index {
+		idx[i] = e.String()
+	}
+	return fmt.Sprintf("%s[%s]", l.Array.Name, strings.Join(idx, ","))
+}
+
+// Convenience constructors.
+
+// C returns a constant expression.
+func C(v int64) Expr { return Const(v) }
+
+// Add returns l+r, folding constants.
+func Add(l, r Expr) Expr { return fold(OpAdd, l, r) }
+
+// Sub returns l-r, folding constants.
+func Sub(l, r Expr) Expr { return fold(OpSub, l, r) }
+
+// Mul returns l*r, folding constants.
+func Mul(l, r Expr) Expr { return fold(OpMul, l, r) }
+
+// Div returns l/r (truncated), folding constants.
+func Div(l, r Expr) Expr { return fold(OpDiv, l, r) }
+
+// Mod returns l%r, folding constants.
+func Mod(l, r Expr) Expr { return fold(OpMod, l, r) }
+
+// Min returns min(l,r), folding constants.
+func Min(l, r Expr) Expr { return fold(OpMin, l, r) }
+
+// Max returns max(l,r), folding constants.
+func Max(l, r Expr) Expr { return fold(OpMax, l, r) }
+
+func fold(op BinOp, l, r Expr) Expr {
+	lc, lok := l.(Const)
+	rc, rok := r.(Const)
+	if lok && rok {
+		return Const(evalBin(op, int64(lc), int64(rc)))
+	}
+	// Identity simplifications keep workload builders tidy.
+	if rok {
+		switch {
+		case rc == 0 && (op == OpAdd || op == OpSub):
+			return l
+		case rc == 1 && (op == OpMul || op == OpDiv):
+			return l
+		case rc == 0 && op == OpMul:
+			return Const(0)
+		}
+	}
+	if lok {
+		switch {
+		case lc == 0 && op == OpAdd:
+			return r
+		case lc == 1 && op == OpMul:
+			return r
+		case lc == 0 && op == OpMul:
+			return Const(0)
+		}
+	}
+	return &Bin{Op: op, L: l, R: r}
+}
+
+func evalBin(op BinOp, l, r int64) int64 {
+	switch op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpDiv:
+		if r == 0 {
+			panic("ir: division by zero in constant fold")
+		}
+		return l / r
+	case OpMod:
+		if r == 0 {
+			panic("ir: modulo by zero in constant fold")
+		}
+		return l % r
+	case OpMin:
+		if l < r {
+			return l
+		}
+		return r
+	case OpMax:
+		if l > r {
+			return l
+		}
+		return r
+	}
+	panic("ir: unknown binary op")
+}
+
+// CmpOp enumerates comparison operators for If conditions.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Cond is a comparison between two integer expressions.
+type Cond struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// String implements fmt.Stringer.
+func (c Cond) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// Eval evaluates the comparison on concrete values.
+func (c Cond) Holds(l, r int64) bool {
+	switch c.Op {
+	case CmpEq:
+		return l == r
+	case CmpNe:
+		return l != r
+	case CmpLt:
+		return l < r
+	case CmpLe:
+		return l <= r
+	case CmpGt:
+		return l > r
+	case CmpGe:
+		return l >= r
+	}
+	panic("ir: unknown comparison")
+}

@@ -1,0 +1,364 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"reusetool/internal/scope"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		got  Expr
+		want int64
+	}{
+		{Add(C(2), C(3)), 5},
+		{Sub(C(2), C(3)), -1},
+		{Mul(C(4), C(3)), 12},
+		{Div(C(7), C(2)), 3},
+		{Div(C(-7), C(2)), -3},
+		{Mod(C(7), C(3)), 1},
+		{Min(C(7), C(3)), 3},
+		{Max(C(7), C(3)), 7},
+	}
+	for _, c := range cases {
+		k, ok := c.got.(Const)
+		if !ok {
+			t.Errorf("%v did not fold to a constant", c.got)
+			continue
+		}
+		if int64(k) != c.want {
+			t.Errorf("folded to %d, want %d", int64(k), c.want)
+		}
+	}
+}
+
+func TestIdentitySimplification(t *testing.T) {
+	p := NewProgram("t")
+	i := p.Var("i")
+	if got := Add(i, C(0)); got != Expr(i) {
+		t.Errorf("i+0 should simplify to i, got %v", got)
+	}
+	if got := Mul(i, C(1)); got != Expr(i) {
+		t.Errorf("i*1 should simplify to i, got %v", got)
+	}
+	if got := Mul(i, C(0)); got != Const(0) {
+		t.Errorf("i*0 should simplify to 0, got %v", got)
+	}
+	if got := Add(C(0), i); got != Expr(i) {
+		t.Errorf("0+i should simplify to i, got %v", got)
+	}
+}
+
+func TestDivByZeroFoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Div(C(1), C(0)) should panic")
+		}
+	}()
+	Div(C(1), C(0))
+}
+
+func TestVarInterning(t *testing.T) {
+	p := NewProgram("t")
+	if p.Var("i") != p.Var("i") {
+		t.Error("Var should intern by name")
+	}
+	if p.Var("i") == p.Var("j") {
+		t.Error("different names must be different vars")
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		l, r int64
+		want bool
+	}{
+		{Eq(nil, nil), 1, 1, true},
+		{Ne(nil, nil), 1, 1, false},
+		{Lt(nil, nil), 1, 2, true},
+		{Le(nil, nil), 2, 2, true},
+		{Gt(nil, nil), 1, 2, false},
+		{Ge(nil, nil), 2, 2, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(c.l, c.r); got != c.want {
+			t.Errorf("%v.Holds(%d,%d) = %v, want %v", c.c.Op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+// fig1Program builds the paper's Figure 1(a): a loop nest with the inner
+// loop iterating over rows of column-major arrays.
+func fig1Program() (*Program, *Array, *Array) {
+	p := NewProgram("fig1")
+	n := p.Param("N", 8)
+	m := p.Param("M", 8)
+	a := p.AddArray("A", 8, n, m) // A(N, M), first dim innermost
+	b := p.AddArray("B", 8, n, m)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "fig1.f", 1)
+	main.Body = []Stmt{
+		For(i, C(0), Sub(n, C(1)),
+			For(j, C(0), Sub(m, C(1)),
+				Do(a.Read(i, j), b.Read(i, j), a.WriteRef(i, j)),
+			).At(3),
+		).At(2),
+	}
+	return p, a, b
+}
+
+func TestFinalizeBuildsScopesAndRefs(t *testing.T) {
+	p, a, b := fig1Program()
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// program, file, routine, 2 loops.
+	if info.Scopes.Len() != 5 {
+		t.Errorf("scopes = %d, want 5", info.Scopes.Len())
+	}
+	if len(info.Refs) != 3 {
+		t.Fatalf("refs = %d, want 3", len(info.Refs))
+	}
+	// All refs live in the inner loop.
+	inner := info.Refs[0].Scope()
+	if info.Scopes.Node(inner).Kind != scope.KindLoop || info.Scopes.Node(inner).Name != "j" {
+		t.Errorf("ref scope = %s, want loop j", info.Scopes.Label(inner))
+	}
+	// Ref loops are innermost-first: j then i.
+	loops := info.LoopsOf(info.Refs[0].ID())
+	if len(loops) != 2 || loops[0].Var.Name != "j" || loops[1].Var.Name != "i" {
+		t.Errorf("ref loops wrong: %v", loops)
+	}
+	// Arrays keep their positions.
+	if a.Pos() != 0 || b.Pos() != 1 {
+		t.Errorf("array positions wrong: %d %d", a.Pos(), b.Pos())
+	}
+	// Ref IDs are dense and Ref() resolves them.
+	for i, r := range info.Refs {
+		if int(r.ID()) != i || info.Ref(r.ID()) != r {
+			t.Errorf("ref id mapping broken at %d", i)
+		}
+	}
+	if info.Ref(-1) != nil || info.Ref(99) != nil {
+		t.Error("out-of-range Ref should be nil")
+	}
+}
+
+func TestFinalizeRejectsBadPrograms(t *testing.T) {
+	// No main.
+	p := NewProgram("empty")
+	if _, err := p.Finalize(); err == nil {
+		t.Error("program without main should fail")
+	}
+
+	// Wrong subscript count.
+	p2 := NewProgram("badsub")
+	n := p2.Param("N", 4)
+	a := p2.AddArray("A", 8, n, n)
+	i := p2.Var("i")
+	r2 := p2.AddRoutine("main", "f", 1)
+	r2.Body = []Stmt{For(i, C(0), C(3), Do(a.Read(i)))}
+	if _, err := p2.Finalize(); err == nil || !strings.Contains(err.Error(), "subscripts") {
+		t.Errorf("rank mismatch not caught: %v", err)
+	}
+
+	// Non-constant step.
+	p3 := NewProgram("badstep")
+	n3 := p3.Param("N", 4)
+	a3 := p3.AddArray("A", 8, n3)
+	i3 := p3.Var("i")
+	r3 := p3.AddRoutine("main", "f", 1)
+	r3.Body = []Stmt{ForStep(i3, C(0), C(3), n3, Do(a3.Read(i3)))}
+	if _, err := p3.Finalize(); err == nil || !strings.Contains(err.Error(), "step") {
+		t.Errorf("non-const step not caught: %v", err)
+	}
+
+	// Foreign variable (not interned via Program.Var).
+	p4 := NewProgram("foreign")
+	a4 := p4.AddArray("A", 8, C(4))
+	alien := &Var{Name: "x"}
+	r4 := p4.AddRoutine("main", "f", 1)
+	r4.Body = []Stmt{For(p4.Var("i"), C(0), C(3), Do(a4.Read(alien)))}
+	if _, err := p4.Finalize(); err == nil || !strings.Contains(err.Error(), "not created through") {
+		t.Errorf("foreign var not caught: %v", err)
+	}
+
+	// Duplicate routine names.
+	p5 := NewProgram("dup")
+	p5.AddRoutine("r", "f", 1)
+	p5.AddRoutine("r", "f", 2)
+	if _, err := p5.Finalize(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate routine not caught: %v", err)
+	}
+
+	// Reference reused in two statements.
+	p6 := NewProgram("reuse")
+	a6 := p6.AddArray("A", 8, C(4))
+	i6 := p6.Var("i")
+	ref := a6.Read(i6)
+	r6 := p6.AddRoutine("main", "f", 1)
+	r6.Body = []Stmt{For(i6, C(0), C(3), Do(ref), Do(ref))}
+	if _, err := p6.Finalize(); err == nil || !strings.Contains(err.Error(), "two statements") {
+		t.Errorf("ref reuse not caught: %v", err)
+	}
+
+	// Call to a routine outside the program.
+	p7 := NewProgram("alien-call")
+	other := &Routine{Name: "other"}
+	r7 := p7.AddRoutine("main", "f", 1)
+	r7.Body = []Stmt{CallTo(other)}
+	if _, err := p7.Finalize(); err == nil || !strings.Contains(err.Error(), "not in program") {
+		t.Errorf("alien call not caught: %v", err)
+	}
+}
+
+func TestTimeStepMarking(t *testing.T) {
+	p := NewProgram("ts")
+	a := p.AddArray("A", 8, C(4))
+	i, ts := p.Var("i"), p.Var("t")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []Stmt{
+		For(ts, C(0), C(9),
+			For(i, C(0), C(3), Do(a.Read(i))),
+		).AsTimeStep().At(10),
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for sid, l := range info.LoopByScope {
+		if l.Var.Name == "t" {
+			found = true
+			if !info.Scopes.Node(sid).TimeStep {
+				t.Error("time-step loop not marked in scope tree")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("time-step loop not found")
+	}
+}
+
+func TestRefName(t *testing.T) {
+	p := NewProgram("n")
+	n := p.Param("N", 4)
+	a := p.AddArray("src", 8, n, n)
+	i, j := p.Var("i"), p.Var("j")
+	r := a.WriteRef(Add(i, C(1)), j)
+	if got := r.Name(); got != "src[(i + 1),j]=" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := a.Read(i, j).Name(); got != "src[i,j]" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	p := NewProgram("s")
+	i := p.Var("i")
+	if got := Min(i, C(3)).String(); got != "min(i, 3)" {
+		t.Errorf("Min string = %q", got)
+	}
+	if got := Add(i, C(2)).String(); got != "(i + 2)" {
+		t.Errorf("Add string = %q", got)
+	}
+	d := p.AddDataArray("idx", 8, C(10))
+	l := &Load{Array: d, Index: []Expr{i}}
+	if got := l.String(); got != "idx[i]" {
+		t.Errorf("Load string = %q", got)
+	}
+	if got := Lt(i, C(3)).String(); got != "i < 3" {
+		t.Errorf("Cond string = %q", got)
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	p := NewProgram("ops")
+	i := p.Var("i")
+	cases := map[string]Expr{
+		"(i - 2)":   Sub(i, C(2)),
+		"(i * 3)":   &Bin{Op: OpMul, L: i, R: C(3)},
+		"(i / 2)":   &Bin{Op: OpDiv, L: i, R: C(2)},
+		"(i % 2)":   &Bin{Op: OpMod, L: i, R: C(2)},
+		"max(i, 3)": Max(i, C(3)),
+	}
+	for want, e := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	for op, want := range map[CmpOp]string{CmpEq: "==", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">="} {
+		if op.String() != want {
+			t.Errorf("CmpOp %d String = %q, want %q", op, op.String(), want)
+		}
+	}
+	if BinOp(99).String() != "?" || CmpOp(99).String() != "?" {
+		t.Error("unknown ops should render ?")
+	}
+}
+
+func TestModByZeroFoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mod(C(1), C(0)) should panic")
+		}
+	}()
+	Mod(C(1), C(0))
+}
+
+func TestInfoSourceInterface(t *testing.T) {
+	p, a, _ := fig1Program()
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name() != "fig1" {
+		t.Errorf("Name = %q", info.Name())
+	}
+	if info.Tree() != info.Scopes {
+		t.Error("Tree should return the scope tree")
+	}
+	name, arr, ok := info.RefLabel(0)
+	if !ok || arr != a.Name || name == "" {
+		t.Errorf("RefLabel(0) = %q %q %v", name, arr, ok)
+	}
+	if _, _, ok := info.RefLabel(99); ok {
+		t.Error("unknown ref should not resolve")
+	}
+	// Slots are assigned after Finalize.
+	if p.Var("i").Slot() < 0 {
+		t.Error("slot not assigned")
+	}
+	if info.ParamSlot("N") < 0 {
+		t.Error("param slot not found")
+	}
+	if info.ParamSlot("bogus") != -1 {
+		t.Error("unknown param should be -1")
+	}
+	if got := info.LoopsOf(-1); got != nil {
+		t.Errorf("LoopsOf(-1) = %v", got)
+	}
+}
+
+func TestWalkExprCoversLoads(t *testing.T) {
+	p := NewProgram("walk")
+	d := p.AddDataArray("d", 8, C(4))
+	i := p.Var("i")
+	e := Add(&Load{Array: d, Index: []Expr{Mul(i, C(2))}}, C(1))
+	var vars, loads int
+	WalkExpr(e, func(x Expr) {
+		switch x.(type) {
+		case *Var:
+			vars++
+		case *Load:
+			loads++
+		}
+	})
+	if vars != 1 || loads != 1 {
+		t.Errorf("walk saw %d vars, %d loads", vars, loads)
+	}
+}

@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"reusetool/internal/trace"
+)
+
+// Stmt is a statement.
+type Stmt interface {
+	stmtNode()
+}
+
+// Loop is a counted loop: for Var := Lo; Var <= Hi; Var += Step.
+// Step must be a positive constant. Lo and Hi may reference outer loop
+// variables and parameters (triangular/wavefront bounds). Each dynamic
+// execution of the loop enters its scope once (not once per iteration),
+// matching the paper's instrumentation of loop entry/exit.
+type Loop struct {
+	Var  *Var
+	Lo   Expr
+	Hi   Expr
+	Step Expr
+	Body []Stmt
+	// Line is the source-line tag used in reports (e.g. 326 for Sweep3D's
+	// idiag loop).
+	Line int
+	// TimeStep marks algorithm time-step / main loops (Table I).
+	TimeStep bool
+
+	scope trace.ScopeID
+}
+
+func (*Loop) stmtNode() {}
+
+// Scope returns the scope ID assigned at finalize time.
+func (l *Loop) Scope() trace.ScopeID { return l.scope }
+
+// Let binds Var to the value of E.
+type Let struct {
+	Var *Var
+	E   Expr
+}
+
+func (*Let) stmtNode() {}
+
+// If executes Then if Cond holds, Else otherwise.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*If) stmtNode() {}
+
+// Ref is one static memory reference site: a subscripted array access.
+type Ref struct {
+	Array *Array
+	Index []Expr
+	Write bool
+
+	id    trace.RefID
+	scope trace.ScopeID
+}
+
+// ID returns the reference ID assigned at finalize time.
+func (r *Ref) ID() trace.RefID { return r.id }
+
+// Scope returns the innermost enclosing scope assigned at finalize time.
+func (r *Ref) Scope() trace.ScopeID { return r.scope }
+
+// Name renders the reference like "src[i,j,k,n]".
+func (r *Ref) Name() string {
+	idx := make([]string, len(r.Index))
+	for i, e := range r.Index {
+		idx[i] = e.String()
+	}
+	rw := ""
+	if r.Write {
+		rw = "="
+	}
+	return fmt.Sprintf("%s[%s]%s", r.Array.Name, strings.Join(idx, ","), rw)
+}
+
+// Access executes its references in order. Grouping several references in
+// one Access models one source statement.
+type Access struct {
+	Refs []*Ref
+}
+
+func (*Access) stmtNode() {}
+
+// Call invokes another routine.
+type Call struct {
+	Callee *Routine
+}
+
+func (*Call) stmtNode() {}
+
+// Routine is a procedure: a named body of statements.
+type Routine struct {
+	Name string
+	File string
+	Line int
+	Body []Stmt
+
+	scope trace.ScopeID
+}
+
+// Scope returns the scope ID assigned at finalize time.
+func (r *Routine) Scope() trace.ScopeID { return r.scope }
+
+// Array declares a (possibly multi-dimensional) array. Dims are extents
+// per dimension with the first dimension fastest-varying (column-major,
+// as in Fortran); extents may reference program parameters and are
+// resolved at layout time.
+type Array struct {
+	Name string
+	// Elem is the element size in bytes.
+	Elem int64
+	// Dims are the per-dimension extents, innermost first.
+	Dims []Expr
+	// Data marks arrays whose integer contents the workload initializes
+	// and Load reads (index arrays). The interpreter allocates backing
+	// storage for them.
+	Data bool
+
+	idx int // position in Program.Arrays, set by AddArray
+}
+
+// Rank reports the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// Read builds a read reference to this array.
+func (a *Array) Read(index ...Expr) *Ref { return &Ref{Array: a, Index: index} }
+
+// WriteRef builds a write reference to this array.
+func (a *Array) WriteRef(index ...Expr) *Ref { return &Ref{Array: a, Index: index, Write: true} }

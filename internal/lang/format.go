@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reusetool/internal/ir"
+)
+
+// Format renders a program as .loop source. Round trip holds for any
+// program the language can express: Parse(Format(p)) builds a program
+// with the identical event stream (data-array contents excepted — init
+// functions written in Go are not serializable; programs using only the
+// DSL's init declarations round-trip fully).
+func Format(prog *ir.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", sanitizeIdent(prog.Name))
+
+	names := make([]string, 0, len(prog.Defaults))
+	for n := range prog.Defaults {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "param %s %d\n", n, prog.Defaults[n])
+	}
+
+	for _, a := range prog.Arrays {
+		kw, ty := "array", typeFor(a.Elem, false)
+		if a.Data {
+			kw, ty = "dataarray", typeFor(a.Elem, true)
+		}
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = d.String()
+		}
+		fmt.Fprintf(&b, "%s %s %s [%s]\n", kw, a.Name, ty, strings.Join(dims, ", "))
+	}
+
+	// The entry routine goes first so declaration order alone makes it
+	// Main on re-parse (unless a routine is literally named "main", which
+	// the parser prefers regardless of order).
+	routines := make([]*ir.Routine, 0, len(prog.Routines))
+	if prog.Main != nil {
+		routines = append(routines, prog.Main)
+	}
+	for _, r := range prog.Routines {
+		if r != prog.Main {
+			routines = append(routines, r)
+		}
+	}
+	for _, r := range routines {
+		fmt.Fprintf(&b, "\nroutine %s file %s line %d {\n",
+			sanitizeIdent(r.Name), sanitizeIdent(r.File), r.Line)
+		formatBody(&b, r.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func typeFor(elem int64, data bool) string {
+	switch elem {
+	case 8:
+		if data {
+			return "i64"
+		}
+		return "f64"
+	case 4:
+		return "f32"
+	case 1:
+		return "i8"
+	default:
+		// The language has no type of this size; f64 keeps the program
+		// parseable while DESIGN-level sizes stay 1/4/8 in practice.
+		return "f64"
+	}
+}
+
+func formatBody(b *strings.Builder, body []ir.Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Loop:
+			if st.TimeStep {
+				fmt.Fprintf(b, "%stimestep ", ind)
+			} else {
+				b.WriteString(ind)
+			}
+			fmt.Fprintf(b, "for %s = %s .. %s", st.Var.Name, st.Lo, st.Hi)
+			if step := int64(st.Step.(ir.Const)); step != 1 {
+				fmt.Fprintf(b, " by %d", step)
+			}
+			if st.Line != 0 {
+				fmt.Fprintf(b, " line %d", st.Line)
+			}
+			b.WriteString(" {\n")
+			formatBody(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+
+		case *ir.Let:
+			fmt.Fprintf(b, "%slet %s = %s\n", ind, st.Var.Name, st.E)
+
+		case *ir.If:
+			fmt.Fprintf(b, "%sif %s {\n", ind, st.Cond)
+			formatBody(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				formatBody(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+
+		case *ir.Access:
+			refs := make([]string, len(st.Refs))
+			for i, r := range st.Refs {
+				idx := make([]string, len(r.Index))
+				for j, e := range r.Index {
+					idx[j] = e.String()
+				}
+				suffix := ""
+				if r.Write {
+					suffix = "!"
+				}
+				refs[i] = fmt.Sprintf("%s[%s]%s", r.Array.Name, strings.Join(idx, ", "), suffix)
+			}
+			fmt.Fprintf(b, "%saccess %s\n", ind, strings.Join(refs, ", "))
+
+		case *ir.Call:
+			fmt.Fprintf(b, "%scall %s\n", ind, sanitizeIdent(st.Callee.Name))
+
+		default:
+			fmt.Fprintf(b, "%s# unrepresentable statement %T\n", ind, s)
+		}
+	}
+}
+
+// sanitizeIdent maps arbitrary names onto the language's identifier
+// grammar (variant names like "sweep3d-Blk6+dimIC" contain punctuation).
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

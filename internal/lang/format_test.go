@@ -1,0 +1,128 @@
+package lang
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/trace"
+	"reusetool/internal/workloads"
+)
+
+// accessHasher fingerprints the access stream (addresses, sizes, modes),
+// which is independent of scope-ID assignment.
+type accessHasher struct {
+	h        uint64
+	accesses uint64
+	enters   uint64
+}
+
+func newAccessHasher() *accessHasher { return &accessHasher{h: 14695981039346656037} }
+
+func (a *accessHasher) EnterScope(trace.ScopeID) { a.enters++ }
+func (a *accessHasher) ExitScope(trace.ScopeID)  {}
+func (a *accessHasher) Access(_ trace.RefID, addr uint64, size uint32, write bool) {
+	a.accesses++
+	buf := [16]byte{}
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(addr >> (8 * i))
+	}
+	buf[8] = byte(size)
+	if write {
+		buf[9] = 1
+	}
+	f := fnv.New64a()
+	f.Write(buf[:])
+	a.h = a.h*1099511628211 ^ f.Sum64()
+}
+
+func fingerprint(t *testing.T, prog *ir.Program) (uint64, uint64, uint64) {
+	t.Helper()
+	info, err := prog.Finalize()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	h := newAccessHasher()
+	if _, err := interp.Run(info, nil, h); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return h.h, h.accesses, h.enters
+}
+
+// TestRoundTripBuiltinWorkloads: formatting any init-free built-in
+// workload and re-parsing it yields a program with the identical memory
+// access stream.
+func TestRoundTripBuiltinWorkloads(t *testing.T) {
+	builders := map[string]func() *ir.Program{
+		"fig1a":     func() *ir.Program { return workloads.Fig1(false) },
+		"fig1b":     func() *ir.Program { return workloads.Fig1(true) },
+		"fig2":      workloads.Fig2,
+		"stream":    func() *ir.Program { return workloads.Stream(512, 2) },
+		"stencil":   func() *ir.Program { return workloads.Stencil(24, 2) },
+		"transpose": func() *ir.Program { return workloads.Transpose(32) },
+		"matmul":    func() *ir.Program { return workloads.MatMul(24, 0) },
+		"matmul-blocked": func() *ir.Program {
+			return workloads.MatMul(24, 8)
+		},
+		"stencil1d":     func() *ir.Program { return workloads.Stencil1D(512, 3) },
+		"stencil1dskew": func() *ir.Program { return workloads.Stencil1DSkewed(512, 3, 64) },
+	}
+	// All Sweep3D variants, including wavefront min/max bounds and Let.
+	for _, cfg := range workloads.Sweep3DVariants(5) {
+		cfg := cfg
+		cfg.Octants = 1
+		builders["sweep3d-"+cfg.Name()] = func() *ir.Program {
+			p, err := workloads.Sweep3D(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+	}
+
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			origHash, origAcc, origEnters := fingerprint(t, build())
+			src := Format(build())
+			parsed, init, err := Parse(src)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n%s", err, src)
+			}
+			if init != nil {
+				t.Fatal("init-free program produced an initializer")
+			}
+			gotHash, gotAcc, gotEnters := fingerprint(t, parsed)
+			if gotAcc != origAcc {
+				t.Fatalf("access counts differ: %d vs %d", gotAcc, origAcc)
+			}
+			if gotEnters != origEnters {
+				t.Fatalf("scope entry counts differ: %d vs %d", gotEnters, origEnters)
+			}
+			if gotHash != origHash {
+				t.Fatalf("access streams differ (hash %x vs %x)", gotHash, origHash)
+			}
+		})
+	}
+}
+
+func TestFormatSanitizesNames(t *testing.T) {
+	cfg := workloads.Sweep3DVariants(5)[5] // "Blk6+dimIC"
+	cfg.Octants = 1
+	p, err := workloads.Sweep3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Format(p)
+	if _, _, err := Parse(src); err != nil {
+		t.Fatalf("sanitized program does not parse: %v", err)
+	}
+}
+
+func TestFormatIsStable(t *testing.T) {
+	a := Format(workloads.Fig2())
+	b := Format(workloads.Fig2())
+	if a != b {
+		t.Error("Format is not deterministic")
+	}
+}

@@ -1,0 +1,116 @@
+// Package lang parses a small loop-nest language into ir programs, so
+// workloads can be described in text files instead of Go code:
+//
+//	program saxpy
+//	param N 4096
+//	array X f64 [N]
+//	array Y f64 [N]
+//
+//	routine main file saxpy.f line 1 {
+//	  for i = 0 .. N-1 line 3 {
+//	    access X[i], Y[i], Y[i]!
+//	  }
+//	}
+//
+// Statements: for (optionally "by <step>", "line <n>", "timestep"),
+// let, if/else, access (trailing "!" marks a write), call. Expressions:
+// integer arithmetic (+ - * / %), min/max, parenthesization, and
+// data-array indexing d[e] which becomes an indirection (ir.Load).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single punctuation or operator, incl. ".." and "!"
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer splits input into tokens, tracking line numbers and skipping
+// '#' comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case isIdentStart(rune(c)):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+				// A "." may appear inside identifiers (file names like
+				// saxpy.f) but ".." always reads as the range operator.
+				if lx.src[lx.pos] == '.' &&
+					(lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] == '.') {
+					break
+				}
+				lx.pos++
+			}
+			lx.emit(tokIdent, lx.src[start:lx.pos])
+		case c >= '0' && c <= '9':
+			start := lx.pos
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+			lx.emit(tokNumber, lx.src[start:lx.pos])
+		case c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '.':
+			lx.emit(tokPunct, "..")
+			lx.pos += 2
+		case strings.ContainsRune("{}[](),=+-*/%!<>", rune(c)):
+			// Two-char comparisons.
+			if lx.pos+1 < len(lx.src) {
+				two := lx.src[lx.pos : lx.pos+2]
+				switch two {
+				case "==", "!=", "<=", ">=":
+					lx.emit(tokPunct, two)
+					lx.pos += 2
+					continue
+				}
+			}
+			lx.emit(tokPunct, string(c))
+			lx.pos++
+		default:
+			return nil, fmt.Errorf("lang: line %d: unexpected character %q", lx.line, c)
+		}
+	}
+	lx.emit(tokEOF, "")
+	return lx.toks, nil
+}
+
+func (lx *lexer) emit(kind tokKind, text string) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, line: lx.line})
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,58 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/trace"
+)
+
+// TestShippedProgramsParseAndRun validates every .loop file in the
+// repository's programs/ directory end to end.
+func TestShippedProgramsParseAndRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("programs directory: %v", err)
+	}
+	var found int
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".loop" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, init, err := Parse(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := prog.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c trace.Counter
+			opts := []interp.Option{interp.WithMaxAccesses(1 << 26)}
+			if init != nil {
+				opts = append(opts, interp.WithInit(init))
+			}
+			if _, err := interp.Run(info, nil, &c, opts...); err != nil {
+				t.Fatal(err)
+			}
+			if c.Accesses == 0 {
+				t.Error("program performed no accesses")
+			}
+			if c.Enters != c.Exits {
+				t.Error("unbalanced scope events")
+			}
+		})
+	}
+	if found < 4 {
+		t.Errorf("only %d .loop programs found, want >= 4", found)
+	}
+}

@@ -1,0 +1,195 @@
+// Package model implements the cross-input scaling models the paper
+// inherits from Marin & Mellor-Crummey [14]: reuse-distance histograms
+// collected at several problem sizes are partitioned into bins of accesses
+// with coherent scaling, and each bin's execution frequency and reuse
+// distance are modeled as combinations of a small set of basis functions
+// of the problem size. The fitted model predicts histograms — and hence
+// cache misses — for problem sizes never measured.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/histo"
+)
+
+// Basis is one candidate scaling shape.
+type Basis struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// DefaultBasis returns the basis set used throughout: constant, linear,
+// n·log n, quadratic and cubic scaling.
+func DefaultBasis() []Basis {
+	return []Basis{
+		{Name: "1", F: func(n float64) float64 { return 1 }},
+		{Name: "n", F: func(n float64) float64 { return n }},
+		{Name: "n*log n", F: func(n float64) float64 {
+			if n <= 1 {
+				return 0
+			}
+			return n * math.Log2(n)
+		}},
+		{Name: "n^2", F: func(n float64) float64 { return n * n }},
+		{Name: "n^3", F: func(n float64) float64 { return n * n * n }},
+	}
+}
+
+// Fit is a fitted y ≈ A·f(n) + B model.
+type Fit struct {
+	Basis Basis
+	A, B  float64
+	RMSE  float64
+}
+
+// Eval evaluates the fit at problem size n.
+func (f *Fit) Eval(n float64) float64 { return f.A*f.Basis.F(n) + f.B }
+
+// String implements fmt.Stringer.
+func (f *Fit) String() string {
+	return fmt.Sprintf("%.4g*%s + %.4g (rmse %.3g)", f.A, f.Basis.Name, f.B, f.RMSE)
+}
+
+// FitBest least-squares fits y ≈ a·f(n) + b for every basis function and
+// returns the fit with the smallest residual (earliest basis wins ties, so
+// simpler shapes are preferred). Needs at least two points.
+func FitBest(ns, ys []float64, basis []Basis) (*Fit, error) {
+	if len(ns) != len(ys) {
+		return nil, fmt.Errorf("model: %d sizes vs %d values", len(ns), len(ys))
+	}
+	if len(ns) < 2 {
+		return nil, fmt.Errorf("model: need at least 2 points, got %d", len(ns))
+	}
+	if len(basis) == 0 {
+		basis = DefaultBasis()
+	}
+	var best *Fit
+	for _, bs := range basis {
+		fit := fitOne(ns, ys, bs)
+		if fit == nil {
+			continue
+		}
+		if best == nil || fit.RMSE < best.RMSE-1e-12 {
+			best = fit
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("model: no basis produced a fit")
+	}
+	return best, nil
+}
+
+// fitOne solves the 2x2 normal equations for y = a·f(n) + b.
+func fitOne(ns, ys []float64, bs Basis) *Fit {
+	m := float64(len(ns))
+	var sf, sff, sy, sfy float64
+	for i := range ns {
+		f := bs.F(ns[i])
+		sf += f
+		sff += f * f
+		sy += ys[i]
+		sfy += f * ys[i]
+	}
+	det := m*sff - sf*sf
+	var a, b float64
+	if math.Abs(det) < 1e-9*math.Max(1, m*sff) {
+		// Degenerate (e.g. constant basis): fall back to y = mean.
+		a, b = 0, sy/m
+	} else {
+		a = (m*sfy - sf*sy) / det
+		b = (sff*sy - sf*sfy) / det
+	}
+	var sse float64
+	for i := range ns {
+		r := ys[i] - (a*bs.F(ns[i]) + b)
+		sse += r * r
+	}
+	return &Fit{Basis: bs, A: a, B: b, RMSE: math.Sqrt(sse / m)}
+}
+
+// HistModel predicts reuse-distance histograms as a function of problem
+// size. The distribution is summarized by quantile bins: bin k models the
+// distance at quantile (k+0.5)/Bins, and the total and cold counts get
+// their own fits.
+type HistModel struct {
+	Bins     int
+	Res      int
+	TotalFit *Fit
+	ColdFit  *Fit
+	DistFits []*Fit
+}
+
+// FitHistograms builds a HistModel from histograms measured at the given
+// problem sizes. bins controls distribution resolution (16 is typical).
+func FitHistograms(ns []float64, hists []*histo.Histogram, bins int, basis []Basis) (*HistModel, error) {
+	if len(ns) != len(hists) {
+		return nil, fmt.Errorf("model: %d sizes vs %d histograms", len(ns), len(hists))
+	}
+	if len(ns) < 2 {
+		return nil, fmt.Errorf("model: need at least 2 problem sizes")
+	}
+	if bins <= 0 {
+		bins = 16
+	}
+	m := &HistModel{Bins: bins}
+	m.Res = hists[0].Resolution()
+
+	totals := make([]float64, len(ns))
+	colds := make([]float64, len(ns))
+	for i, h := range hists {
+		totals[i] = float64(h.Total())
+		colds[i] = float64(h.Cold())
+	}
+	var err error
+	if m.TotalFit, err = FitBest(ns, totals, basis); err != nil {
+		return nil, err
+	}
+	if m.ColdFit, err = FitBest(ns, colds, basis); err != nil {
+		return nil, err
+	}
+	for k := 0; k < bins; k++ {
+		q := (float64(k) + 0.5) / float64(bins)
+		ds := make([]float64, len(ns))
+		for i, h := range hists {
+			ds[i] = float64(h.Quantile(q))
+		}
+		fit, err := FitBest(ns, ds, basis)
+		if err != nil {
+			return nil, err
+		}
+		m.DistFits = append(m.DistFits, fit)
+	}
+	return m, nil
+}
+
+// Predict synthesizes a histogram for problem size n.
+func (m *HistModel) Predict(n float64) *histo.Histogram {
+	h := histo.NewRes(m.Res)
+	total := m.TotalFit.Eval(n)
+	if total < 0 {
+		total = 0
+	}
+	cold := m.ColdFit.Eval(n)
+	if cold < 0 {
+		cold = 0
+	}
+	per := total / float64(m.Bins)
+	for _, fit := range m.DistFits {
+		d := fit.Eval(n)
+		if d < 0 {
+			d = 0
+		}
+		h.AddN(uint64(math.Round(d)), uint64(math.Round(per)))
+	}
+	h.AddN(histo.Cold, uint64(math.Round(cold)))
+	return h
+}
+
+// PredictMisses predicts the expected misses at level l for problem size
+// n using the probabilistic set-associative model.
+func (m *HistModel) PredictMisses(l cache.Level, n float64) float64 {
+	return l.ExpectedMisses(m.Predict(n))
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/histo"
+)
+
+func TestFitBestRecoversPlantedScaling(t *testing.T) {
+	ns := []float64{10, 20, 40, 80}
+	cases := []struct {
+		name string
+		f    func(n float64) float64
+	}{
+		{"n", func(n float64) float64 { return 3*n + 7 }},
+		{"n^2", func(n float64) float64 { return 0.5*n*n + 2 }},
+		{"n^3", func(n float64) float64 { return 0.01 * n * n * n }},
+		{"1", func(n float64) float64 { return 42 }},
+	}
+	for _, c := range cases {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = c.f(n)
+		}
+		fit, err := FitBest(ns, ys, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if fit.Basis.Name != c.name {
+			t.Errorf("planted %s, fit chose %s (%v)", c.name, fit.Basis.Name, fit)
+		}
+		// Extrapolation must be near-exact for a planted model.
+		for _, n := range []float64{160, 5} {
+			want := c.f(n)
+			got := fit.Eval(n)
+			tol := 1e-6 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: Eval(%v) = %v, want %v", c.name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestFitBestErrors(t *testing.T) {
+	if _, err := FitBest([]float64{1}, []float64{1}, nil); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitBest([]float64{1, 2}, []float64{1}, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestFitBestPrefersSimplerOnTies(t *testing.T) {
+	// A constant series fits every basis exactly (a=0); the constant basis
+	// comes first and must win.
+	ns := []float64{10, 20, 30}
+	ys := []float64{5, 5, 5}
+	fit, err := FitBest(ns, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Basis.Name != "1" {
+		t.Errorf("constant series chose basis %s", fit.Basis.Name)
+	}
+	if math.Abs(fit.Eval(100)-5) > 1e-9 {
+		t.Errorf("Eval = %v, want 5", fit.Eval(100))
+	}
+}
+
+func TestFitQuickNoNaN(t *testing.T) {
+	f := func(a, b int8) bool {
+		ns := []float64{8, 16, 32}
+		ys := []float64{float64(a), float64(b), float64(a) + float64(b)}
+		fit, err := FitBest(ns, ys, nil)
+		if err != nil {
+			return false
+		}
+		v := fit.Eval(64)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// synthHist builds a histogram whose distances scale as dist(n) and whose
+// count scales as count(n).
+func synthHist(n float64, dist func(float64) float64, count func(float64) float64) *histo.Histogram {
+	h := histo.New()
+	c := uint64(count(n))
+	// Spread over a few nearby distances so quantiles are stable.
+	d := uint64(dist(n))
+	h.AddN(d, c/2)
+	h.AddN(d+1, c-c/2)
+	h.AddN(histo.Cold, uint64(n))
+	return h
+}
+
+func TestHistModelPredicts(t *testing.T) {
+	dist := func(n float64) float64 { return n * n }    // quadratic reuse distance
+	count := func(n float64) float64 { return 100 * n } // linear access count
+	ns := []float64{8, 16, 32}
+	var hists []*histo.Histogram
+	for _, n := range ns {
+		hists = append(hists, synthHist(n, dist, count))
+	}
+	m, err := FitHistograms(ns, hists, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict an unseen size.
+	p := m.Predict(64)
+	wantTotal := count(64)
+	if math.Abs(float64(p.Total())-wantTotal)/wantTotal > 0.02 {
+		t.Errorf("predicted total = %d, want ~%v", p.Total(), wantTotal)
+	}
+	if math.Abs(float64(p.Cold())-64) > 2 {
+		t.Errorf("predicted cold = %d, want ~64", p.Cold())
+	}
+	// Tolerance: one histogram sub-bucket (1/8 octave) of relative error
+	// per binning stage, twice (measure + re-synthesize).
+	med := float64(p.Quantile(0.5))
+	if math.Abs(med-dist(64))/dist(64) > 0.15 {
+		t.Errorf("predicted median distance = %v, want ~%v", med, dist(64))
+	}
+}
+
+func TestHistModelMissPrediction(t *testing.T) {
+	// Distances scale quadratically; a cache of capacity 1024 blocks stops
+	// holding the working set somewhere between n=16 (256) and n=64
+	// (4096). The model must predict ~0 capacity misses at small n and
+	// ~all capacity misses at large n.
+	dist := func(n float64) float64 { return n * n }
+	count := func(n float64) float64 { return 1000 }
+	ns := []float64{8, 16, 32}
+	var hists []*histo.Histogram
+	for _, n := range ns {
+		hists = append(hists, synthHist(n, dist, count))
+	}
+	m, err := FitHistograms(ns, hists, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := cache.Level{Name: "L", LineBits: 7, Sets: 1, Assoc: 1024}
+	lo := m.PredictMisses(level, 8)   // distances ~64: hits (cold only ~8)
+	hi := m.PredictMisses(level, 100) // distances ~10000: misses
+	if lo > 20 {
+		t.Errorf("predicted misses at n=8 = %v, want ~cold only", lo)
+	}
+	if hi < 900 {
+		t.Errorf("predicted misses at n=100 = %v, want ~1100", hi)
+	}
+}
+
+func TestHistModelErrors(t *testing.T) {
+	h := histo.New()
+	if _, err := FitHistograms([]float64{1}, []*histo.Histogram{h}, 8, nil); err == nil {
+		t.Error("one size should fail")
+	}
+	if _, err := FitHistograms([]float64{1, 2}, []*histo.Histogram{h}, 8, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestPredictClampsNegative(t *testing.T) {
+	// A decreasing series can extrapolate negative; predictions must clamp.
+	ns := []float64{10, 20, 30}
+	var hists []*histo.Histogram
+	for _, n := range ns {
+		h := histo.New()
+		h.AddN(uint64(1000-30*n), 100)
+		hists = append(hists, h)
+	}
+	m, err := FitHistograms(ns, hists, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(100) // extrapolated distance would be negative
+	if p.Max() > 1000 {
+		t.Errorf("clamped prediction has max %d", p.Max())
+	}
+}

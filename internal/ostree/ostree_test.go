@@ -1,0 +1,305 @@
+package ostree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brute is an O(n) reference implementation backed by a slice.
+type brute struct {
+	keys []uint64
+}
+
+func (b *brute) Insert(t uint64) { b.keys = append(b.keys, t) }
+
+func (b *brute) Delete(t uint64) {
+	for i, k := range b.keys {
+		if k == t {
+			b.keys[i] = b.keys[len(b.keys)-1]
+			b.keys = b.keys[:len(b.keys)-1]
+			return
+		}
+	}
+}
+
+func (b *brute) CountGreater(t uint64) uint64 {
+	var c uint64
+	for _, k := range b.keys {
+		if k > t {
+			c++
+		}
+	}
+	return c
+}
+
+func (b *brute) Len() int { return len(b.keys) }
+
+func implementations() map[string]func() Tree {
+	return map[string]func() Tree{
+		"AVL":     func() Tree { return NewAVL(0) },
+		"Fenwick": func() Tree { return NewFenwick(16) },
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	for name, mk := range implementations() {
+		tr := mk()
+		if tr.Len() != 0 {
+			t.Errorf("%s: empty Len = %d", name, tr.Len())
+		}
+		if got := tr.CountGreater(0); got != 0 {
+			t.Errorf("%s: empty CountGreater(0) = %d", name, got)
+		}
+		tr.Delete(42) // must be a no-op
+		if tr.Len() != 0 {
+			t.Errorf("%s: Len after no-op delete = %d", name, tr.Len())
+		}
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	for name, mk := range implementations() {
+		tr := mk()
+		tr.Insert(10)
+		if tr.Len() != 1 {
+			t.Errorf("%s: Len = %d, want 1", name, tr.Len())
+		}
+		if got := tr.CountGreater(5); got != 1 {
+			t.Errorf("%s: CountGreater(5) = %d, want 1", name, got)
+		}
+		if got := tr.CountGreater(10); got != 0 {
+			t.Errorf("%s: CountGreater(10) = %d, want 0", name, got)
+		}
+		if got := tr.CountGreater(15); got != 0 {
+			t.Errorf("%s: CountGreater(15) = %d, want 0", name, got)
+		}
+		tr.Delete(10)
+		if tr.Len() != 0 {
+			t.Errorf("%s: Len after delete = %d, want 0", name, tr.Len())
+		}
+	}
+}
+
+func TestSequentialInsertRank(t *testing.T) {
+	for name, mk := range implementations() {
+		tr := mk()
+		const n = 1000
+		for i := uint64(1); i <= n; i++ {
+			tr.Insert(i)
+		}
+		for i := uint64(1); i <= n; i++ {
+			if got := tr.CountGreater(i); got != n-i {
+				t.Fatalf("%s: CountGreater(%d) = %d, want %d", name, i, got, n-i)
+			}
+		}
+	}
+}
+
+// TestReuseDistanceUsagePattern exercises the exact pattern the
+// reuse-distance engine performs: delete an old timestamp, insert the
+// current time, query the rank of the old timestamp first.
+func TestReuseDistanceUsagePattern(t *testing.T) {
+	for name, mk := range implementations() {
+		tr := mk()
+		ref := &brute{}
+		rng := rand.New(rand.NewSource(7))
+		// live maps block -> last access time.
+		live := map[int]uint64{}
+		now := uint64(0)
+		for step := 0; step < 20000; step++ {
+			now++
+			block := rng.Intn(200)
+			if old, ok := live[block]; ok {
+				want := ref.CountGreater(old)
+				got := tr.CountGreater(old)
+				if got != want {
+					t.Fatalf("%s: step %d CountGreater(%d) = %d, want %d", name, step, old, got, want)
+				}
+				tr.Delete(old)
+				ref.Delete(old)
+			}
+			tr.Insert(now)
+			ref.Insert(now)
+			live[block] = now
+			if tr.Len() != ref.Len() {
+				t.Fatalf("%s: Len = %d, want %d", name, tr.Len(), ref.Len())
+			}
+		}
+	}
+}
+
+// TestRandomOpsQuick compares each implementation against the brute-force
+// reference on random operation sequences using testing/quick.
+func TestRandomOpsQuick(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		f := func(seed int64, nOps uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			tr := mk()
+			ref := &brute{}
+			now := uint64(0)
+			inserted := []uint64{}
+			for i := 0; i < int(nOps)+1; i++ {
+				switch rng.Intn(3) {
+				case 0: // insert
+					now++
+					tr.Insert(now)
+					ref.Insert(now)
+					inserted = append(inserted, now)
+				case 1: // delete a random live key
+					if len(ref.keys) > 0 {
+						k := ref.keys[rng.Intn(len(ref.keys))]
+						tr.Delete(k)
+						ref.Delete(k)
+					}
+				case 2: // query a random previously inserted key
+					if len(inserted) > 0 {
+						k := inserted[rng.Intn(len(inserted))]
+						if tr.CountGreater(k) != ref.CountGreater(k) {
+							return false
+						}
+					}
+				}
+				if tr.Len() != ref.Len() {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAVLInvariantsUnderChurn(t *testing.T) {
+	tr := NewAVL(0)
+	rng := rand.New(rand.NewSource(11))
+	live := map[int]uint64{}
+	now := uint64(0)
+	for step := 0; step < 5000; step++ {
+		now++
+		block := rng.Intn(64)
+		if old, ok := live[block]; ok {
+			tr.Delete(old)
+		}
+		tr.Insert(now)
+		live[block] = now
+		if step%500 == 0 && !tr.checkInvariants() {
+			t.Fatalf("AVL invariants violated at step %d", step)
+		}
+	}
+	if !tr.checkInvariants() {
+		t.Fatal("AVL invariants violated at end")
+	}
+	// Drain and re-check.
+	for _, v := range live {
+		tr.Delete(v)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", tr.Len())
+	}
+	if !tr.checkInvariants() {
+		t.Fatal("AVL invariants violated after drain")
+	}
+}
+
+func TestAVLNodeReuse(t *testing.T) {
+	tr := NewAVL(4)
+	for round := 0; round < 10; round++ {
+		base := uint64(round * 1000)
+		for i := uint64(1); i <= 100; i++ {
+			tr.Insert(base + i)
+		}
+		for i := uint64(1); i <= 100; i++ {
+			tr.Delete(base + i)
+		}
+	}
+	// The pool should not have grown far beyond the peak live size.
+	if len(tr.nodes) > 200 {
+		t.Errorf("node pool grew to %d entries for a peak of 100 live keys", len(tr.nodes))
+	}
+}
+
+func TestFenwickCompaction(t *testing.T) {
+	f := NewFenwick(16)
+	ref := &brute{}
+	// Insert/delete far more than the window size to force many compactions.
+	live := []uint64{}
+	now := uint64(0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		now++
+		f.Insert(now)
+		ref.Insert(now)
+		live = append(live, now)
+		if len(live) > 24 {
+			j := rng.Intn(len(live))
+			f.Delete(live[j])
+			ref.Delete(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%97 == 0 && len(live) > 0 {
+			k := live[rng.Intn(len(live))]
+			if got, want := f.CountGreater(k), ref.CountGreater(k); got != want {
+				t.Fatalf("after %d ops: CountGreater(%d) = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFenwickAbsentKeyQuery(t *testing.T) {
+	f := NewFenwick(16)
+	for _, k := range []uint64{10, 20, 30, 40} {
+		f.Insert(k)
+	}
+	f.Delete(20)
+	// Query timestamps that were never inserted or were deleted.
+	cases := []struct {
+		t    uint64
+		want uint64
+	}{
+		{0, 3},  // below all live keys
+		{5, 3},  // below all live keys
+		{10, 2}, // live
+		{20, 2}, // deleted; 30 and 40 are greater
+		{30, 1},
+		{40, 0},
+		{50, 0}, // above all keys
+	}
+	for _, c := range cases {
+		if got := f.CountGreater(c.t); got != c.want {
+			t.Errorf("CountGreater(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func benchTree(b *testing.B, mk func() Tree, blocks int) {
+	tr := mk()
+	rng := rand.New(rand.NewSource(1))
+	live := make([]uint64, blocks)
+	now := uint64(0)
+	// Warm up: touch every block once.
+	for i := range live {
+		now++
+		tr.Insert(now)
+		live[i] = now
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		blk := rng.Intn(blocks)
+		old := live[blk]
+		_ = tr.CountGreater(old)
+		tr.Delete(old)
+		tr.Insert(now)
+		live[blk] = now
+	}
+}
+
+func BenchmarkAVL64KBlocks(b *testing.B) { benchTree(b, func() Tree { return NewAVL(0) }, 65536) }
+func BenchmarkFenwick64KBlocks(b *testing.B) {
+	benchTree(b, func() Tree { return NewFenwick(0) }, 65536)
+}

@@ -1,0 +1,94 @@
+// Package persist saves and restores collected reuse-distance data.
+//
+// This enables the paper's intended workflow: the expensive instrumented
+// run happens once, producing architecture-independent reuse-distance
+// histograms; miss predictions for any number of cache configurations
+// (sharing the collection granularities) are then computed offline from
+// the saved dataset.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/trace"
+)
+
+// FormatVersion identifies the on-disk encoding.
+const FormatVersion = 1
+
+// Dataset is the persisted form of a collector's measurements.
+type Dataset struct {
+	Version int
+	// Program names the analyzed workload.
+	Program string
+	// Grans records the collection granularities (block sizes and the
+	// exact-miss thresholds that were counted online).
+	Grans []reusedist.Granularity
+	// Refs holds, per granularity, the per-reference data.
+	Refs [][]*reusedist.RefData
+	// Clocks holds each granularity engine's final logical clock (its
+	// block-granularity access count).
+	Clocks []uint64
+	// Trips holds the dynamic loop trip statistics (needed by the static
+	// fragmentation analysis when re-analyzing offline). May be nil.
+	Trips map[trace.ScopeID]interp.TripStat
+}
+
+// Snapshot captures a collector's state into a Dataset. trips may be nil;
+// pass interp.Result.Trips to enable offline fragmentation analysis.
+func Snapshot(col *reusedist.Collector, program string, trips map[trace.ScopeID]interp.TripStat) *Dataset {
+	d := &Dataset{Version: FormatVersion, Program: program, Grans: col.Grans, Trips: trips}
+	for _, eng := range col.Engines {
+		d.Refs = append(d.Refs, eng.Refs())
+		d.Clocks = append(d.Clocks, eng.Clock())
+	}
+	return d
+}
+
+// TripsFunc adapts the stored trip statistics for the static analysis,
+// falling back to def for loops without data.
+func (d *Dataset) TripsFunc(def float64) func(trace.ScopeID) float64 {
+	return func(s trace.ScopeID) float64 {
+		if t, ok := d.Trips[s]; ok && t.Execs > 0 {
+			return t.Avg()
+		}
+		return def
+	}
+}
+
+// Collector rebuilds a read-only collector from the dataset. The result
+// serves metrics.Build and all query paths but must not receive events.
+func (d *Dataset) Collector() *reusedist.Collector {
+	col := &reusedist.Collector{Grans: d.Grans}
+	for i, g := range d.Grans {
+		col.Engines = append(col.Engines, reusedist.Restore(reusedist.Config{
+			BlockBits:  g.BlockBits,
+			Thresholds: g.Thresholds,
+		}, d.Refs[i], d.Clocks[i]))
+	}
+	return col
+}
+
+// Save writes the dataset to w in gob format.
+func Save(w io.Writer, d *Dataset) error {
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if d.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", d.Version, FormatVersion)
+	}
+	return &d, nil
+}

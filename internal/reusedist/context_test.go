@@ -1,0 +1,136 @@
+package reusedist
+
+import (
+	"testing"
+
+	"reusetool/internal/trace"
+)
+
+// TestContextTrackingSplitsPatterns: with context tracking on, the same
+// reference reached through two different call paths collects separate
+// patterns; with tracking off it collects one.
+func TestContextTrackingSplitsPatterns(t *testing.T) {
+	const (
+		callerA trace.ScopeID = 1
+		callerB trace.ScopeID = 2
+		callee  trace.ScopeID = 3
+	)
+	routines := map[trace.ScopeID]bool{callerA: true, callerB: true, callee: true}
+
+	runTrace := func(e *Engine) {
+		e.EnterScope(0)
+		// Prime the block so subsequent accesses are reuses.
+		e.Access(9, 0, 8, false)
+		for i := 0; i < 3; i++ {
+			e.EnterScope(callerA)
+			e.EnterScope(callee)
+			e.Access(1, 0, 8, false)
+			e.ExitScope(callee)
+			e.ExitScope(callerA)
+			e.EnterScope(callerB)
+			e.EnterScope(callee)
+			e.Access(1, 0, 8, false)
+			e.ExitScope(callee)
+			e.ExitScope(callerB)
+		}
+		e.ExitScope(0)
+	}
+
+	with := New(Config{BlockBits: 6, ContextFilter: func(s trace.ScopeID) bool { return routines[s] }})
+	runTrace(with)
+	without := New(Config{BlockBits: 6})
+	runTrace(without)
+
+	rdWith, rdWithout := with.Ref(1), without.Ref(1)
+	if len(rdWithout.Patterns) != 2 {
+		// Source alternates between the two call paths' callee accesses,
+		// but the static source scope is the same callee scope; the only
+		// split without context is the first arc's source (ref 9's scope).
+		t.Logf("patterns without context: %d", len(rdWithout.Patterns))
+	}
+	if len(rdWith.Patterns) <= len(rdWithout.Patterns) {
+		t.Errorf("context tracking should split patterns: %d with vs %d without",
+			len(rdWith.Patterns), len(rdWithout.Patterns))
+	}
+	// Contexts are consistent: exactly two distinct destination contexts
+	// (callee via A, callee via B).
+	ctxs := map[uint64]bool{}
+	for key := range rdWith.Patterns {
+		ctxs[key.Context] = true
+	}
+	if len(ctxs) != 2 {
+		t.Errorf("distinct contexts = %d, want 2", len(ctxs))
+	}
+	// Total arcs match between the two modes.
+	var a, b uint64
+	for _, p := range rdWith.Patterns {
+		a += p.Count
+	}
+	for _, p := range rdWithout.Patterns {
+		b += p.Count
+	}
+	if a != b {
+		t.Errorf("arc counts differ: %d vs %d", a, b)
+	}
+}
+
+// TestContextHashDeterministic: the same call path always yields the same
+// context hash, and sibling paths differ.
+func TestContextHashDeterministic(t *testing.T) {
+	filter := func(s trace.ScopeID) bool { return s != 0 }
+	e1 := New(Config{BlockBits: 6, ContextFilter: filter})
+	e2 := New(Config{BlockBits: 6, ContextFilter: filter})
+	for _, e := range []*Engine{e1, e2} {
+		e.EnterScope(0)
+		e.EnterScope(5)
+		e.EnterScope(7)
+	}
+	if e1.context() != e2.context() {
+		t.Error("same path, different hashes")
+	}
+	e1.ExitScope(7)
+	e1.EnterScope(8)
+	if e1.context() == e2.context() {
+		t.Error("different paths, same hash")
+	}
+}
+
+// TestContextOffIsZero: without a filter, all patterns carry context 0.
+func TestContextOffIsZero(t *testing.T) {
+	e := New(Config{BlockBits: 6})
+	e.EnterScope(0)
+	e.EnterScope(1)
+	e.Access(1, 0, 8, false)
+	e.Access(1, 0, 8, false)
+	e.ExitScope(1)
+	e.ExitScope(0)
+	for key := range e.Ref(1).Patterns {
+		if key.Context != 0 {
+			t.Errorf("context = %d, want 0", key.Context)
+		}
+	}
+}
+
+func BenchmarkAblationContextTracking(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{BlockBits: 7}
+			if on {
+				cfg.ContextFilter = func(s trace.ScopeID) bool { return s%3 == 0 }
+			}
+			e := New(cfg)
+			e.EnterScope(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := trace.ScopeID(1 + i%7)
+				e.EnterScope(s)
+				e.Access(trace.RefID(i%4), uint64(i%4096)*128, 8, false)
+				e.ExitScope(s)
+			}
+		})
+	}
+}

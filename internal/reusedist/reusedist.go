@@ -1,0 +1,350 @@
+// Package reusedist implements the paper's online memory-reuse-distance
+// analysis (Section II).
+//
+// An Engine consumes the instrumentation event stream and maintains:
+//
+//   - a logical clock incremented on every memory access;
+//   - a hierarchical block table associating each memory block with the
+//     logical time, reference and scope of its last access;
+//   - an order-statistic balanced tree keyed by last-access time that
+//     answers "how many distinct blocks were accessed since time t" in
+//     O(log M);
+//   - the dynamic stack of scopes used to determine the scope carrying each
+//     reuse.
+//
+// For every reference the engine collects one reuse-distance histogram per
+// (source scope, carrying scope) pair — the paper's reuse patterns — plus
+// exact miss counts at a configurable set of fully-associative capacity
+// thresholds (used for the exact simulation/prediction cross-check).
+package reusedist
+
+import (
+	"fmt"
+	"sort"
+
+	"reusetool/internal/blocktable"
+	"reusetool/internal/histo"
+	"reusetool/internal/ostree"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+)
+
+// PatternKey identifies a reuse pattern at a reference: the scope that
+// performed the previous access to the block (source) and the scope carrying
+// the reuse. The destination scope is implicit — it is the scope containing
+// the reference the histogram hangs off.
+//
+// Context is zero unless calling-context tracking is enabled
+// (Config.ContextFilter); it then holds a hash of the dynamic call path
+// active at the reuse's destination — the extension Section IV describes
+// as possible future work ("the data collection infrastructure can be
+// extended to include calling context as well").
+type PatternKey struct {
+	Source   trace.ScopeID
+	Carrying trace.ScopeID
+	Context  uint64
+}
+
+// Pattern accumulates the reuse arcs of one (reference, source, carrying)
+// combination.
+type Pattern struct {
+	Key  PatternKey
+	Hist *histo.Histogram
+	// MissAt[i] counts arcs with distance >= Config.Thresholds[i]: exact
+	// fully-associative LRU misses at that capacity.
+	MissAt []uint64
+	// Count is the number of finite reuse arcs recorded.
+	Count uint64
+}
+
+// RefData aggregates everything recorded for one reference.
+type RefData struct {
+	Ref trace.RefID
+	// Scope is the innermost static scope the reference executes in
+	// (the destination scope of all its reuse arcs).
+	Scope trace.ScopeID
+	// Patterns maps (source, carrying) to accumulated data.
+	Patterns map[PatternKey]*Pattern
+	// Total counts all accesses by this reference; Cold the first-touch
+	// (compulsory) ones.
+	Total uint64
+	Cold  uint64
+}
+
+// ColdMissAt reports cold accesses; compulsory misses are misses at every
+// capacity.
+func (r *RefData) ColdMissAt() uint64 { return r.Cold }
+
+// MissAt sums exact fully-associative misses at threshold index i across
+// all patterns, including compulsory misses.
+func (r *RefData) MissAt(i int) uint64 {
+	n := r.Cold
+	for _, p := range r.Patterns {
+		n += p.MissAt[i]
+	}
+	return n
+}
+
+// SortedPatterns returns the reference's patterns ordered by descending
+// miss count at threshold index i (cold excluded), ties broken by key.
+func (r *RefData) SortedPatterns(i int) []*Pattern {
+	ps := make([]*Pattern, 0, len(r.Patterns))
+	for _, p := range r.Patterns {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].MissAt[i] != ps[b].MissAt[i] {
+			return ps[a].MissAt[i] > ps[b].MissAt[i]
+		}
+		if ps[a].Key.Source != ps[b].Key.Source {
+			return ps[a].Key.Source < ps[b].Key.Source
+		}
+		return ps[a].Key.Carrying < ps[b].Key.Carrying
+	})
+	return ps
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// BlockBits is log2 of the memory-block (cache line or page) size the
+	// distances are measured at.
+	BlockBits uint
+	// Thresholds are fully-associative capacities, in blocks, at which the
+	// engine counts exact misses online (e.g. L2 and L3 capacities in
+	// lines). May be empty.
+	Thresholds []uint64
+	// HistRes is the histogram resolution (sub-buckets per octave);
+	// 0 means histo.DefaultResolution.
+	HistRes int
+	// UseFenwick selects the Fenwick order-statistic structure instead of
+	// the AVL tree (ablation).
+	UseFenwick bool
+	// ContextFilter, when non-nil, enables calling-context tracking:
+	// scopes for which it returns true (typically routines) extend the
+	// context hash, and patterns are collected separately per context.
+	// The paper leaves this off by default to bound overhead.
+	ContextFilter func(trace.ScopeID) bool
+}
+
+// Engine is the online reuse-distance collector. It implements
+// trace.Handler. Create with New.
+type Engine struct {
+	cfg   Config
+	clock uint64
+	table blocktable.Table
+	tree  ostree.Tree
+	stack scope.Stack
+	refs  []*RefData // indexed by RefID, nil until first access
+	res   int
+	// ctx is the calling-context hash stack (one entry per active scope)
+	// when context tracking is on.
+	ctx []uint64
+	// scopeAccesses counts block accesses per innermost static scope,
+	// enabling per-scope miss rates.
+	scopeAccesses []uint64
+}
+
+// New returns an Engine for the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.BlockBits > 40 {
+		panic(fmt.Sprintf("reusedist: unreasonable block bits %d", cfg.BlockBits))
+	}
+	res := cfg.HistRes
+	if res == 0 {
+		res = histo.DefaultResolution
+	}
+	var tree ostree.Tree
+	if cfg.UseFenwick {
+		tree = ostree.NewFenwick(1 << 16)
+	} else {
+		tree = ostree.NewAVL(1 << 12)
+	}
+	return &Engine{cfg: cfg, table: blocktable.NewRadix(), tree: tree, res: res}
+}
+
+// Clock reports the current logical access time (number of block accesses
+// processed).
+func (e *Engine) Clock() uint64 { return e.clock }
+
+// DistinctBlocks reports the number of distinct memory blocks touched
+// (0 for an engine restored from persisted data).
+func (e *Engine) DistinctBlocks() int {
+	if e.table == nil {
+		return 0
+	}
+	return e.table.Blocks()
+}
+
+// EnterScope implements trace.Handler.
+func (e *Engine) EnterScope(s trace.ScopeID) {
+	e.stack.Enter(s, e.clock)
+	if e.cfg.ContextFilter != nil {
+		cur := e.context()
+		if e.cfg.ContextFilter(s) {
+			// FNV-style mix of the parent context and the scope.
+			cur = (cur ^ uint64(s+1)) * 1099511628211
+		}
+		e.ctx = append(e.ctx, cur)
+	}
+}
+
+// ExitScope implements trace.Handler.
+func (e *Engine) ExitScope(trace.ScopeID) {
+	e.stack.Exit()
+	if e.cfg.ContextFilter != nil {
+		e.ctx = e.ctx[:len(e.ctx)-1]
+	}
+}
+
+// context returns the current calling-context hash (0 when tracking is
+// off or at the outermost level).
+func (e *Engine) context() uint64 {
+	if len(e.ctx) == 0 {
+		return 0
+	}
+	return e.ctx[len(e.ctx)-1]
+}
+
+// Access implements trace.Handler. An access spanning multiple blocks is
+// processed as one access per touched block.
+func (e *Engine) Access(ref trace.RefID, addr uint64, size uint32, _ bool) {
+	bs := uint64(1) << e.cfg.BlockBits
+	first := addr >> e.cfg.BlockBits
+	last := (addr + uint64(size) - 1) >> e.cfg.BlockBits
+	if size == 0 {
+		last = first
+	}
+	for b := first; b <= last; b++ {
+		e.accessBlock(ref, b)
+	}
+	_ = bs
+}
+
+func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
+	e.clock++
+	now := e.clock
+	cur := e.stack.Top()
+	rd := e.refData(ref, cur)
+	rd.Total++
+	if cur >= 0 {
+		for int(cur) >= len(e.scopeAccesses) {
+			e.scopeAccesses = append(e.scopeAccesses, 0)
+		}
+		e.scopeAccesses[cur]++
+	}
+
+	prev, seen := e.table.LookupStore(block, blocktable.Entry{Time: now, Ref: ref, Scope: cur})
+	if !seen {
+		rd.Cold++
+		e.tree.Insert(now)
+		return
+	}
+	dist := e.tree.CountGreater(prev.Time)
+	e.tree.Delete(prev.Time)
+	e.tree.Insert(now)
+
+	key := PatternKey{Source: prev.Scope, Carrying: e.stack.Carrying(prev.Time), Context: e.context()}
+	p := rd.Patterns[key]
+	if p == nil {
+		p = &Pattern{Key: key, Hist: histo.NewRes(e.res), MissAt: make([]uint64, len(e.cfg.Thresholds))}
+		rd.Patterns[key] = p
+	}
+	p.Hist.Add(dist)
+	p.Count++
+	for i, th := range e.cfg.Thresholds {
+		if dist >= th {
+			p.MissAt[i]++
+		}
+	}
+}
+
+func (e *Engine) refData(ref trace.RefID, cur trace.ScopeID) *RefData {
+	for int(ref) >= len(e.refs) {
+		e.refs = append(e.refs, nil)
+	}
+	rd := e.refs[ref]
+	if rd == nil {
+		rd = &RefData{Ref: ref, Scope: cur, Patterns: make(map[PatternKey]*Pattern)}
+		e.refs[ref] = rd
+	}
+	return rd
+}
+
+// Refs returns the collected per-reference data for all references that
+// executed at least once, in RefID order.
+func (e *Engine) Refs() []*RefData {
+	out := make([]*RefData, 0, len(e.refs))
+	for _, rd := range e.refs {
+		if rd != nil {
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+// Ref returns data for one reference, or nil if it never executed.
+func (e *Engine) Ref(ref trace.RefID) *RefData {
+	if int(ref) >= len(e.refs) {
+		return nil
+	}
+	return e.refs[ref]
+}
+
+// Thresholds returns the configured exact-miss capacities.
+func (e *Engine) Thresholds() []uint64 { return e.cfg.Thresholds }
+
+// BlockBits returns the configured block-size exponent.
+func (e *Engine) BlockBits() uint { return e.cfg.BlockBits }
+
+// TotalAccesses sums accesses over all references (in block units).
+func (e *Engine) TotalAccesses() uint64 { return e.clock }
+
+// AccessesByScope returns per-scope (innermost static scope) block-access
+// counts, indexed by ScopeID; scopes beyond the slice had none.
+func (e *Engine) AccessesByScope() []uint64 { return e.scopeAccesses }
+
+// TotalMissAt sums exact fully-associative misses at threshold index i over
+// all references, including compulsory misses.
+func (e *Engine) TotalMissAt(i int) uint64 {
+	var n uint64
+	for _, rd := range e.refs {
+		if rd != nil {
+			n += rd.MissAt(i)
+		}
+	}
+	return n
+}
+
+// Restore rebuilds a read-only engine from persisted per-reference data
+// (see internal/persist). The returned engine serves all query methods but
+// must not receive further events.
+func Restore(cfg Config, refs []*RefData, clock uint64) *Engine {
+	e := New(cfg)
+	e.clock = clock
+	maxID := trace.RefID(-1)
+	for _, rd := range refs {
+		if rd != nil && rd.Ref > maxID {
+			maxID = rd.Ref
+		}
+	}
+	e.refs = make([]*RefData, maxID+1)
+	for _, rd := range refs {
+		if rd != nil {
+			e.refs[rd.Ref] = rd
+		}
+	}
+	e.table = nil
+	e.tree = nil
+	return e
+}
+
+// TotalCold sums compulsory accesses over all references.
+func (e *Engine) TotalCold() uint64 {
+	var n uint64
+	for _, rd := range e.refs {
+		if rd != nil {
+			n += rd.Cold
+		}
+	}
+	return n
+}

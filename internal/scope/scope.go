@@ -1,0 +1,231 @@
+// Package scope models static program scopes (program, file, routine, loop)
+// and the dynamic scope stack the paper uses to find the scope carrying a
+// data reuse.
+//
+// The static scope tree mirrors the paper's program scope tree (Section IV):
+// program root, files, routines, and nested loops. Metrics are attributed to
+// leaf scopes and aggregated inclusively up the tree.
+//
+// The dynamic stack implements Section II: each entry records the scope and
+// the value of the logical access clock at entry. The scope carrying a reuse
+// whose previous access happened at time t is the most recently entered,
+// still-active scope whose entry clock precedes t.
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reusetool/internal/trace"
+)
+
+// Kind classifies a scope-tree node.
+type Kind uint8
+
+// Scope kinds, from the paper's program scope tree levels.
+const (
+	KindProgram Kind = iota
+	KindFile
+	KindRoutine
+	KindLoop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindProgram:
+		return "program"
+	case KindFile:
+		return "file"
+	case KindRoutine:
+		return "routine"
+	case KindLoop:
+		return "loop"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Node is one static scope.
+type Node struct {
+	ID       trace.ScopeID
+	Parent   trace.ScopeID // NoScope for the root
+	Kind     Kind
+	Name     string // routine name, loop variable, file name...
+	Line     int    // source line, 0 if unknown
+	Children []trace.ScopeID
+	// TimeStep marks scopes that iterate over algorithm time steps or are
+	// the program main loop; Table I treats reuses carried by these as hard
+	// or impossible to eliminate.
+	TimeStep bool
+}
+
+// Tree is a static scope tree. The zero value is not usable; call NewTree.
+type Tree struct {
+	nodes []Node
+}
+
+// NewTree creates a tree containing only the program root scope.
+func NewTree(programName string) *Tree {
+	t := &Tree{}
+	t.nodes = append(t.nodes, Node{ID: 0, Parent: trace.NoScope, Kind: KindProgram, Name: programName})
+	return t
+}
+
+// Root returns the program root scope ID.
+func (t *Tree) Root() trace.ScopeID { return 0 }
+
+// Add creates a child scope of parent and returns its ID.
+func (t *Tree) Add(parent trace.ScopeID, kind Kind, name string, line int) trace.ScopeID {
+	if int(parent) < 0 || int(parent) >= len(t.nodes) {
+		panic(fmt.Sprintf("scope: invalid parent %d", parent))
+	}
+	id := trace.ScopeID(len(t.nodes))
+	t.nodes = append(t.nodes, Node{ID: id, Parent: parent, Kind: kind, Name: name, Line: line})
+	t.nodes[parent].Children = append(t.nodes[parent].Children, id)
+	return id
+}
+
+// MarkTimeStep flags s as a time-step/main loop for Table I classification.
+func (t *Tree) MarkTimeStep(s trace.ScopeID) { t.nodes[s].TimeStep = true }
+
+// Node returns the node for id.
+func (t *Tree) Node(id trace.ScopeID) *Node {
+	return &t.nodes[id]
+}
+
+// Len reports the number of scopes.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Valid reports whether id names a scope in this tree.
+func (t *Tree) Valid(id trace.ScopeID) bool { return id >= 0 && int(id) < len(t.nodes) }
+
+// Parent returns the parent of id (trace.NoScope for the root).
+func (t *Tree) Parent(id trace.ScopeID) trace.ScopeID { return t.nodes[id].Parent }
+
+// Depth reports the number of ancestors of id (root has depth 0).
+func (t *Tree) Depth(id trace.ScopeID) int {
+	d := 0
+	for t.nodes[id].Parent != trace.NoScope {
+		id = t.nodes[id].Parent
+		d++
+	}
+	return d
+}
+
+// IsAncestor reports whether a is an ancestor of b (or equal to b).
+func (t *Tree) IsAncestor(a, b trace.ScopeID) bool {
+	for b != trace.NoScope {
+		if a == b {
+			return true
+		}
+		b = t.nodes[b].Parent
+	}
+	return false
+}
+
+// EnclosingRoutine returns the nearest enclosing routine scope of id
+// (possibly id itself), or trace.NoScope if none exists.
+func (t *Tree) EnclosingRoutine(id trace.ScopeID) trace.ScopeID {
+	for id != trace.NoScope {
+		if t.nodes[id].Kind == KindRoutine {
+			return id
+		}
+		id = t.nodes[id].Parent
+	}
+	return trace.NoScope
+}
+
+// CommonAncestor returns the deepest common ancestor of a and b.
+func (t *Tree) CommonAncestor(a, b trace.ScopeID) trace.ScopeID {
+	da, db := t.Depth(a), t.Depth(b)
+	for da > db {
+		a = t.nodes[a].Parent
+		da--
+	}
+	for db > da {
+		b = t.nodes[b].Parent
+		db--
+	}
+	for a != b {
+		a = t.nodes[a].Parent
+		b = t.nodes[b].Parent
+	}
+	return a
+}
+
+// Label renders a short human-readable name for id, e.g. "loop idiag@326".
+func (t *Tree) Label(id trace.ScopeID) string {
+	if id == trace.NoScope {
+		return "<none>"
+	}
+	n := &t.nodes[id]
+	var b strings.Builder
+	b.WriteString(n.Kind.String())
+	if n.Name != "" {
+		b.WriteString(" ")
+		b.WriteString(n.Name)
+	}
+	if n.Line > 0 {
+		fmt.Fprintf(&b, "@%d", n.Line)
+	}
+	return b.String()
+}
+
+// Path renders the full path from the root to id.
+func (t *Tree) Path(id trace.ScopeID) string {
+	if id == trace.NoScope {
+		return "<none>"
+	}
+	var parts []string
+	for id != trace.NoScope {
+		parts = append(parts, t.Label(id))
+		id = t.nodes[id].Parent
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// PreOrder calls f for every scope in depth-first pre-order.
+func (t *Tree) PreOrder(f func(id trace.ScopeID)) {
+	var walk func(trace.ScopeID)
+	walk = func(id trace.ScopeID) {
+		f(id)
+		for _, c := range t.nodes[id].Children {
+			walk(c)
+		}
+	}
+	walk(0)
+}
+
+// Inclusive computes inclusive metric values from exclusive ones: each
+// scope's inclusive value is its exclusive value plus the inclusive values
+// of its children. excl is indexed by ScopeID and must have length Len().
+func (t *Tree) Inclusive(excl []float64) []float64 {
+	if len(excl) != len(t.nodes) {
+		panic(fmt.Sprintf("scope: Inclusive: %d values for %d scopes", len(excl), len(t.nodes)))
+	}
+	incl := make([]float64, len(excl))
+	copy(incl, excl)
+	// Children have larger IDs than parents (Add appends), so a reverse
+	// sweep accumulates bottom-up.
+	for id := len(t.nodes) - 1; id > 0; id-- {
+		incl[t.nodes[id].Parent] += incl[id]
+	}
+	return incl
+}
+
+// SortedByMetric returns all scope IDs sorted by descending metric value,
+// breaking ties by ID.
+func SortedByMetric(values []float64) []trace.ScopeID {
+	ids := make([]trace.ScopeID, len(values))
+	for i := range ids {
+		ids[i] = trace.ScopeID(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		return values[ids[i]] > values[ids[j]]
+	})
+	return ids
+}

@@ -1,0 +1,352 @@
+// Package staticanalysis implements Section III of the paper: quantifying
+// spatial locality by finding fragmentation in cache lines.
+//
+// For every loop nest it groups references that access the same array with
+// the same symbolic stride ("related references"), then runs the paper's
+// three-step algorithm:
+//
+//  1. find the enclosing loop with the smallest non-zero constant stride s,
+//     walking inside-out and stopping at irregular strides;
+//  2. split related references into reuse groups by how many iterations of
+//     that loop separate their first-location formulas (using average trip
+//     counts from the dynamic analysis);
+//  3. compute each reuse group's hot footprint in a block of size s with
+//     modular arithmetic; the fragmentation factor is f = 1 − c/s for the
+//     maximum coverage c.
+//
+// Groups whose stride search hits an irregular or indirect stride are
+// flagged so their misses can be reported as irregular-pattern misses.
+package staticanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/symbolic"
+	"reusetool/internal/trace"
+)
+
+// Group is a set of related references (same array, same loop nest, same
+// symbolic strides) plus the results of the fragmentation analysis.
+type Group struct {
+	Array *ir.Array
+	// Nest is the enclosing loop chain, innermost first.
+	Nest []*ir.Loop
+	Refs []*ir.Ref
+	// Forms[i] is the byte-offset form of Refs[i].
+	Forms []symbolic.Form
+
+	// StrideLoop is the loop found in step 1 (nil if none).
+	StrideLoop *ir.Loop
+	// Stride is |s| in bytes for StrideLoop.
+	Stride int64
+	// Irregular reports that the inside-out stride search hit an irregular
+	// or indirect stride before finding a constant one.
+	Irregular bool
+	// IrregularLoop is the loop with the irregular/indirect stride.
+	IrregularLoop *ir.Loop
+
+	// ReuseGroups are indices into Refs, one slice per reuse group.
+	ReuseGroups [][]int
+	// Coverage is the best hot-footprint coverage c over reuse groups.
+	Coverage int64
+	// Frag is the fragmentation factor 1-c/s, or -1 when not computable.
+	Frag float64
+}
+
+// Label renders the group for reports, e.g. "src @ loop i@388".
+func (g *Group) Label() string {
+	loop := "<no loop>"
+	if len(g.Nest) > 0 {
+		loop = fmt.Sprintf("loop %s@%d", g.Nest[0].Var.Name, g.Nest[0].Line)
+	}
+	return fmt.Sprintf("%s @ %s", g.Array.Name, loop)
+}
+
+// Result holds the analysis output for a whole program.
+type Result struct {
+	Groups []*Group
+
+	refForm  map[trace.RefID]symbolic.Form
+	refGroup map[trace.RefID]*Group
+	info     *ir.Info
+}
+
+// FragOf returns the fragmentation factor of the group containing ref, or
+// -1 if unknown.
+func (r *Result) FragOf(ref trace.RefID) float64 {
+	if g, ok := r.refGroup[ref]; ok {
+		return g.Frag
+	}
+	return -1
+}
+
+// GroupOf returns the related-reference group containing ref, or nil.
+func (r *Result) GroupOf(ref trace.RefID) *Group { return r.refGroup[ref] }
+
+// Form returns the byte-offset form computed for ref.
+func (r *Result) Form(ref trace.RefID) symbolic.Form { return r.refForm[ref] }
+
+// StrideWRTScope classifies ref's stride with respect to the loop at the
+// given scope. Non-loop scopes yield StrideZero.
+func (r *Result) StrideWRTScope(ref trace.RefID, s trace.ScopeID) symbolic.Stride {
+	l, ok := r.info.LoopByScope[s]
+	if !ok {
+		return symbolic.Stride{Class: symbolic.StrideZero}
+	}
+	f, ok := r.refForm[ref]
+	if !ok {
+		return symbolic.Stride{Class: symbolic.StrideZero}
+	}
+	return symbolic.StrideWRT(f, l.Var.Name, int64(l.Step.(ir.Const)))
+}
+
+// Trips supplies average loop trip counts (keyed by loop scope);
+// interp.Result satisfies it via AvgTrips.
+type Trips func(s trace.ScopeID) float64
+
+// TripsFromRun adapts an interpreter result, falling back to def for loops
+// that never executed.
+func TripsFromRun(res *interp.Result, def float64) Trips {
+	return func(s trace.ScopeID) float64 { return res.AvgTrips(s, def) }
+}
+
+// ConstTrips returns the same trip count for every loop (static-only use).
+func ConstTrips(v float64) Trips {
+	return func(trace.ScopeID) float64 { return v }
+}
+
+// Analyze runs the Section III analysis. mach supplies resolved array
+// strides (interp.Layout), trips the average trip counts.
+func Analyze(info *ir.Info, mach *interp.Machine, trips Trips) *Result {
+	res := &Result{
+		refForm:  map[trace.RefID]symbolic.Form{},
+		refGroup: map[trace.RefID]*Group{},
+		info:     info,
+	}
+
+	strideCache := map[*ir.Array][]int64{}
+	stridesOf := func(a *ir.Array) []int64 {
+		if s, ok := strideCache[a]; ok {
+			return s
+		}
+		s := make([]int64, a.Rank())
+		for d := range s {
+			s[d] = mach.ArrayStride(a, d)
+		}
+		strideCache[a] = s
+		return s
+	}
+
+	// Bucket references into related groups: same array, same loop nest,
+	// same stride signature over the nest.
+	type key struct {
+		array     *ir.Array
+		innermost *ir.Loop
+		sig       string
+	}
+	buckets := map[key]*Group{}
+	var order []key
+
+	for _, ref := range info.Refs {
+		nest := info.LoopsOf(ref.ID())
+		form := symbolic.RefAddress(ref, stridesOf(ref.Array))
+		res.refForm[ref.ID()] = form
+
+		var inner *ir.Loop
+		if len(nest) > 0 {
+			inner = nest[0]
+		}
+		k := key{array: ref.Array, innermost: inner, sig: strideSignature(form, nest)}
+		g := buckets[k]
+		if g == nil {
+			g = &Group{Array: ref.Array, Nest: nest}
+			buckets[k] = g
+			order = append(order, k)
+		}
+		g.Refs = append(g.Refs, ref)
+		g.Forms = append(g.Forms, form)
+		res.refGroup[ref.ID()] = g
+	}
+
+	for _, k := range order {
+		g := buckets[k]
+		analyzeGroup(g, trips)
+		res.Groups = append(res.Groups, g)
+	}
+	return res
+}
+
+// strideSignature renders the per-nest-loop stride classes/values; related
+// references must agree on it.
+func strideSignature(f symbolic.Form, nest []*ir.Loop) string {
+	var b strings.Builder
+	for _, l := range nest {
+		s := symbolic.StrideWRT(f, l.Var.Name, int64(l.Step.(ir.Const)))
+		fmt.Fprintf(&b, "%s:%d;", s.Class, s.Bytes)
+	}
+	return b.String()
+}
+
+// analyzeGroup runs steps 1-3 on one related-reference group.
+func analyzeGroup(g *Group, trips Trips) {
+	g.Frag = -1
+
+	// Step 1: smallest non-zero constant stride, inside out, stopping at
+	// irregular/indirect strides.
+	f := g.Forms[0] // all members share strides by construction
+	stop := false
+	for _, l := range g.Nest {
+		s := symbolic.StrideWRT(f, l.Var.Name, int64(l.Step.(ir.Const)))
+		switch s.Class {
+		case symbolic.StrideIrregular, symbolic.StrideIndirect:
+			// The search terminates at an irregular stride; the group
+			// counts as irregular only when no constant stride was found
+			// further in.
+			if g.StrideLoop == nil {
+				g.Irregular = true
+				g.IrregularLoop = l
+			}
+			stop = true
+		case symbolic.StrideConst:
+			abs := s.Bytes
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs != 0 && (g.StrideLoop == nil || abs < g.Stride) {
+				g.StrideLoop = l
+				g.Stride = abs
+			}
+		}
+		if stop {
+			break
+		}
+	}
+	if g.StrideLoop == nil {
+		return
+	}
+
+	// Step 2: split into reuse groups. Two references with identical
+	// coefficient vectors belong to the same reuse group iff the loop can
+	// cover their first-location delta: |Δ|/s < average trip count.
+	avg := trips(g.StrideLoop.Scope())
+	n := len(g.Refs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !sameCoeffs(g.Forms[i], g.Forms[j]) {
+				continue
+			}
+			delta := g.Forms[i].Const - g.Forms[j].Const
+			if delta < 0 {
+				delta = -delta
+			}
+			iters := float64(delta) / float64(g.Stride)
+			if iters < avg {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	sort.Ints(roots)
+	g.ReuseGroups = g.ReuseGroups[:0]
+	for _, r := range roots {
+		g.ReuseGroups = append(g.ReuseGroups, groups[r])
+	}
+
+	// Step 3: hot footprint per reuse group via modular arithmetic.
+	s := g.Stride
+	elem := g.Array.Elem
+	var best int64
+	for _, rg := range g.ReuseGroups {
+		var iv intervals
+		for _, idx := range rg {
+			off := ((g.Forms[idx].Const % s) + s) % s
+			end := off + elem
+			if end <= s {
+				iv.add(off, end)
+			} else {
+				iv.add(off, s)
+				iv.add(0, end-s)
+			}
+		}
+		if c := iv.coverage(); c > best {
+			best = c
+		}
+	}
+	if best > s {
+		best = s
+	}
+	g.Coverage = best
+	g.Frag = 1 - float64(best)/float64(s)
+}
+
+func sameCoeffs(a, b symbolic.Form) bool {
+	for v, c := range a.Coeff {
+		if c != 0 && b.Coeff[v] != c {
+			return false
+		}
+	}
+	for v, c := range b.Coeff {
+		if c != 0 && a.Coeff[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// intervals is a tiny byte-interval union accumulator.
+type intervals struct {
+	spans [][2]int64 // half-open [lo, hi)
+}
+
+func (iv *intervals) add(lo, hi int64) {
+	if lo >= hi {
+		return
+	}
+	iv.spans = append(iv.spans, [2]int64{lo, hi})
+}
+
+func (iv *intervals) coverage() int64 {
+	if len(iv.spans) == 0 {
+		return 0
+	}
+	sort.Slice(iv.spans, func(i, j int) bool { return iv.spans[i][0] < iv.spans[j][0] })
+	var total int64
+	curLo, curHi := iv.spans[0][0], iv.spans[0][1]
+	for _, sp := range iv.spans[1:] {
+		if sp[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = sp[0], sp[1]
+			continue
+		}
+		if sp[1] > curHi {
+			curHi = sp[1]
+		}
+	}
+	return total + (curHi - curLo)
+}

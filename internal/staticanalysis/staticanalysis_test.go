@@ -1,0 +1,334 @@
+package staticanalysis
+
+import (
+	"math"
+	"testing"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/trace"
+)
+
+// buildFig2 constructs the paper's Figure 2 loop nest (0-based indexing):
+//
+//	DO J = 1, M-1
+//	  DO I = 0, N-4, 4
+//	    A(I+2,J) = A(I,J-1) + B(I+1,J) - B(I+3,J)
+//	    A(I+3,J) = A(I+1,J-1) + B(I,J) - B(I+2,J)
+func buildFig2(t *testing.T, n, m int64) (*ir.Info, *interp.Machine, *interp.Result, *ir.Array, *ir.Array) {
+	t.Helper()
+	p := ir.NewProgram("fig2")
+	np := p.Param("N", n)
+	mp := p.Param("M", m)
+	a := p.AddArray("A", 8, np, mp)
+	b := p.AddArray("B", 8, np, mp)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "fig2.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(j, ir.C(1), ir.Sub(mp, ir.C(1)),
+			ir.ForStep(i, ir.C(0), ir.Sub(np, ir.C(4)), ir.C(4),
+				ir.Do(
+					a.Read(i, ir.Sub(j, ir.C(1))),
+					b.Read(ir.Add(i, ir.C(1)), j),
+					b.Read(ir.Add(i, ir.C(3)), j),
+					a.WriteRef(ir.Add(i, ir.C(2)), j),
+				),
+				ir.Do(
+					a.Read(ir.Add(i, ir.C(1)), ir.Sub(j, ir.C(1))),
+					b.Read(i, j),
+					b.Read(ir.Add(i, ir.C(2)), j),
+					a.WriteRef(ir.Add(i, ir.C(3)), j),
+				),
+			).At(3),
+		).At(2),
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := interp.Layout(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(info, nil, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, mach, res, a, b
+}
+
+func groupFor(r *Result, arr *ir.Array) *Group {
+	for _, g := range r.Groups {
+		if g.Array == arr {
+			return g
+		}
+	}
+	return nil
+}
+
+// TestFig2FragmentationFactors reproduces the paper's worked example:
+// fragmentation factor 0.5 for array A and 0 for array B.
+func TestFig2FragmentationFactors(t *testing.T) {
+	info, mach, run, a, b := buildFig2(t, 400, 100)
+	res := Analyze(info, mach, TripsFromRun(run, 1))
+
+	ga := groupFor(res, a)
+	if ga == nil {
+		t.Fatal("no group for A")
+	}
+	if len(ga.Refs) != 4 {
+		t.Fatalf("A group has %d refs, want 4 (all related)", len(ga.Refs))
+	}
+	if ga.Stride != 32 {
+		t.Errorf("A stride = %d, want 32 (paper: 32 bytes for doubles, step 4)", ga.Stride)
+	}
+	if ga.StrideLoop == nil || ga.StrideLoop.Var.Name != "i" {
+		t.Error("A stride loop should be the inner I loop")
+	}
+	if len(ga.ReuseGroups) != 2 {
+		t.Fatalf("A reuse groups = %d, want 2 (paper splits by second-dimension index)", len(ga.ReuseGroups))
+	}
+	if ga.Coverage != 16 {
+		t.Errorf("A coverage = %d, want 16", ga.Coverage)
+	}
+	if math.Abs(ga.Frag-0.5) > 1e-12 {
+		t.Errorf("frag(A) = %v, want 0.5", ga.Frag)
+	}
+
+	gb := groupFor(res, b)
+	if gb == nil {
+		t.Fatal("no group for B")
+	}
+	if len(gb.Refs) != 4 {
+		t.Fatalf("B group has %d refs, want 4", len(gb.Refs))
+	}
+	if len(gb.ReuseGroups) != 1 {
+		t.Fatalf("B reuse groups = %d, want 1 (paper: all four references)", len(gb.ReuseGroups))
+	}
+	if gb.Coverage != 32 {
+		t.Errorf("B coverage = %d, want 32", gb.Coverage)
+	}
+	if gb.Frag != 0 {
+		t.Errorf("frag(B) = %v, want 0", gb.Frag)
+	}
+
+	// Per-ref lookups.
+	for _, ref := range ga.Refs {
+		if f := res.FragOf(ref.ID()); math.Abs(f-0.5) > 1e-12 {
+			t.Errorf("FragOf(A ref) = %v", f)
+		}
+		if res.GroupOf(ref.ID()) != ga {
+			t.Error("GroupOf(A ref) wrong")
+		}
+	}
+	if res.FragOf(9999) != -1 {
+		t.Error("FragOf(unknown) should be -1")
+	}
+}
+
+// TestAoSFieldAccessFragmentation models the GTC zion pattern: an array of
+// 7-field records where a loop touches only one field; frag = 1 - 8/56.
+func TestAoSFieldAccessFragmentation(t *testing.T) {
+	p := ir.NewProgram("aos")
+	n := p.Param("N", 1000)
+	zion := p.AddArray("zion", 8, ir.C(7), n) // 7 fields innermost
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+			ir.Do(zion.Read(ir.C(2), i))), // only field 2
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := interp.Layout(info, nil)
+	res := Analyze(info, mach, ConstTrips(1000))
+	g := res.Groups[0]
+	if g.Stride != 56 {
+		t.Fatalf("stride = %d, want 56 (record size)", g.Stride)
+	}
+	want := 1 - 8.0/56.0
+	if math.Abs(g.Frag-want) > 1e-12 {
+		t.Errorf("frag = %v, want %v", g.Frag, want)
+	}
+	// Touching two fields halves the waste.
+	p2 := ir.NewProgram("aos2")
+	n2 := p2.Param("N", 1000)
+	z2 := p2.AddArray("zion", 8, ir.C(7), n2)
+	i2 := p2.Var("i")
+	m2 := p2.AddRoutine("main", "f", 1)
+	m2.Body = []ir.Stmt{
+		ir.For(i2, ir.C(0), ir.Sub(n2, ir.C(1)),
+			ir.Do(z2.Read(ir.C(2), i2), z2.Read(ir.C(4), i2))),
+	}
+	info2, err := p2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach2, _ := interp.Layout(info2, nil)
+	res2 := Analyze(info2, mach2, ConstTrips(1000))
+	g2 := res2.Groups[0]
+	want2 := 1 - 16.0/56.0
+	if math.Abs(g2.Frag-want2) > 1e-12 {
+		t.Errorf("frag(two fields) = %v, want %v", g2.Frag, want2)
+	}
+}
+
+// TestSoAHasNoFragmentation: after the zion transpose (structure of
+// arrays), the same field walk is dense.
+func TestSoAHasNoFragmentation(t *testing.T) {
+	p := ir.NewProgram("soa")
+	n := p.Param("N", 1000)
+	field := p.AddArray("zion2", 8, n) // one field, its own vector
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1))).At(1),
+	}
+	main.Body[0].(*ir.Loop).Body = []ir.Stmt{ir.Do(field.Read(i))}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := interp.Layout(info, nil)
+	res := Analyze(info, mach, ConstTrips(1000))
+	if got := res.Groups[0].Frag; got != 0 {
+		t.Errorf("frag = %v, want 0", got)
+	}
+}
+
+func TestIrregularGroupDetection(t *testing.T) {
+	p := ir.NewProgram("gather")
+	n := p.Param("N", 100)
+	idx := p.AddDataArray("idx", 8, n)
+	a := p.AddArray("A", 8, n)
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+			ir.Do(a.Read(&ir.Load{Array: idx, Index: []ir.Expr{i}}))),
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := interp.Layout(info, nil)
+	res := Analyze(info, mach, ConstTrips(100))
+	g := groupFor(res, a)
+	if g == nil {
+		t.Fatal("no group")
+	}
+	if !g.Irregular {
+		t.Error("gather group should be irregular")
+	}
+	if g.IrregularLoop == nil || g.IrregularLoop.Var.Name != "i" {
+		t.Error("irregular loop should be i")
+	}
+	if g.Frag != -1 {
+		t.Errorf("frag = %v, want -1 (not computable)", g.Frag)
+	}
+	// Stride classification for the carrying scope.
+	s := res.StrideWRTScope(g.Refs[0].ID(), g.IrregularLoop.Scope())
+	if s.Class.String() != "indirect" {
+		t.Errorf("stride class = %v, want indirect", s.Class)
+	}
+}
+
+func TestScalarRefHasNoStrideLoop(t *testing.T) {
+	p := ir.NewProgram("scalar")
+	a := p.AddArray("A", 8, ir.C(10))
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.C(9), ir.Do(a.Read(ir.C(3)))),
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := interp.Layout(info, nil)
+	res := Analyze(info, mach, ConstTrips(10))
+	g := res.Groups[0]
+	if g.StrideLoop != nil || g.Frag != -1 || g.Irregular {
+		t.Errorf("scalar group: %+v", g)
+	}
+}
+
+func TestDifferentStridesNotRelated(t *testing.T) {
+	p := ir.NewProgram("mixed")
+	n := p.Param("N", 100)
+	a := p.AddArray("A", 8, ir.Mul(n, ir.C(2)))
+	i := p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+			ir.Do(a.Read(i), a.Read(ir.Mul(i, ir.C(2))))),
+	}
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := interp.Layout(info, nil)
+	res := Analyze(info, mach, ConstTrips(100))
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (different strides are unrelated)", len(res.Groups))
+	}
+}
+
+func TestDifferentArraysNotRelated(t *testing.T) {
+	info, mach, run, _, _ := buildFig2(t, 400, 100)
+	res := Analyze(info, mach, TripsFromRun(run, 1))
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (A and B)", len(res.Groups))
+	}
+	if res.Groups[0].Array == res.Groups[1].Array {
+		t.Error("groups should cover distinct arrays")
+	}
+}
+
+// TestReuseGroupTripSensitivity: with a much larger trip count the column
+// delta becomes coverable and the A references merge into one reuse group.
+func TestReuseGroupTripSensitivity(t *testing.T) {
+	info, mach, _, a, _ := buildFig2(t, 400, 100)
+	// Claim the I loop runs 10x more iterations than it does: now 100.5 <
+	// 1000, so the cross-column pairs unify.
+	res := Analyze(info, mach, ConstTrips(1000))
+	ga := groupFor(res, a)
+	if len(ga.ReuseGroups) != 1 {
+		t.Errorf("reuse groups = %d, want 1 under inflated trip counts", len(ga.ReuseGroups))
+	}
+	// Coverage now includes both 16-byte footprints at offsets {0,8} and
+	// {16,24}: the whole 32-byte block.
+	if ga.Frag != 0 {
+		t.Errorf("frag = %v, want 0", ga.Frag)
+	}
+}
+
+func TestIntervalCoverage(t *testing.T) {
+	var iv intervals
+	if iv.coverage() != 0 {
+		t.Error("empty coverage should be 0")
+	}
+	iv.add(0, 8)
+	iv.add(4, 12)  // overlap
+	iv.add(20, 24) // gap
+	iv.add(24, 28) // adjacent
+	if got := iv.coverage(); got != 20 {
+		t.Errorf("coverage = %d, want 20", got)
+	}
+	var iv2 intervals
+	iv2.add(5, 5) // empty interval ignored
+	if iv2.coverage() != 0 {
+		t.Error("degenerate interval should not count")
+	}
+}
+
+func TestGroupLabel(t *testing.T) {
+	info, mach, run, a, _ := buildFig2(t, 400, 100)
+	res := Analyze(info, mach, TripsFromRun(run, 1))
+	g := groupFor(res, a)
+	if got := g.Label(); got != "A @ loop i@3" {
+		t.Errorf("Label = %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+package symbolic
+
+import (
+	"testing"
+
+	"reusetool/internal/ir"
+)
+
+func vars(p *ir.Program, names ...string) []*ir.Var {
+	out := make([]*ir.Var, len(names))
+	for k, n := range names {
+		out[k] = p.Var(n)
+	}
+	return out
+}
+
+func TestAnalyzeAffine(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "i", "j")
+	i, j := vs[0], vs[1]
+
+	// 3*i + 2*j + 7
+	e := ir.Add(ir.Add(ir.Mul(ir.C(3), i), ir.Mul(j, ir.C(2))), ir.C(7))
+	f := Analyze(e)
+	if f.Const != 7 || f.Coeff["i"] != 3 || f.Coeff["j"] != 2 {
+		t.Errorf("form = %v", f)
+	}
+	if f.HasIndirect() || f.HasNonAffine() {
+		t.Errorf("affine form has flags: %v", f)
+	}
+
+	// i - j: subtraction.
+	f2 := Analyze(ir.Sub(i, j))
+	if f2.Coeff["i"] != 1 || f2.Coeff["j"] != -1 {
+		t.Errorf("sub form = %v", f2)
+	}
+
+	// i - i cancels: stride zero.
+	f3 := Analyze(ir.Sub(i, i))
+	if len(f3.Vars()) != 0 {
+		t.Errorf("i-i should have no vars, got %v", f3.Vars())
+	}
+}
+
+func TestAnalyzeNonAffine(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "i", "j")
+	i, j := vs[0], vs[1]
+
+	// i*j is non-affine in both.
+	f := Analyze(ir.Mul(i, j))
+	if !f.NonAffine["i"] || !f.NonAffine["j"] {
+		t.Errorf("i*j form = %v", f)
+	}
+	// i/2 is non-affine (integer division).
+	f2 := Analyze(ir.Div(i, ir.C(2)))
+	if !f2.NonAffine["i"] {
+		t.Errorf("i/2 form = %v", f2)
+	}
+	// min(i, j) is non-affine.
+	f3 := Analyze(ir.Min(i, j))
+	if !f3.NonAffine["i"] || !f3.NonAffine["j"] {
+		t.Errorf("min form = %v", f3)
+	}
+	// (i*j) + 4*i: i is both affine and non-affine; non-affine must win in
+	// stride classification.
+	f4 := Analyze(ir.Add(ir.Mul(i, j), ir.Mul(ir.C(4), i)))
+	s := StrideWRT(f4, "i", 1)
+	if s.Class != StrideIrregular {
+		t.Errorf("stride of mixed form = %v, want irregular", s.Class)
+	}
+}
+
+func TestAnalyzeIndirect(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "i", "j")
+	i, j := vs[0], vs[1]
+	idx := p.AddDataArray("idx", 8, ir.C(100))
+
+	// idx[i] + j: indirect in i, affine in j.
+	e := ir.Add(&ir.Load{Array: idx, Index: []ir.Expr{i}}, j)
+	f := Analyze(e)
+	if !f.Indirect["i"] {
+		t.Errorf("form should be indirect in i: %v", f)
+	}
+	if f.Coeff["j"] != 1 {
+		t.Errorf("form should be affine in j: %v", f)
+	}
+	if StrideWRT(f, "i", 1).Class != StrideIndirect {
+		t.Error("stride wrt i should be indirect")
+	}
+	if got := StrideWRT(f, "j", 1); got.Class != StrideConst || got.Bytes != 1 {
+		t.Errorf("stride wrt j = %+v", got)
+	}
+}
+
+func TestRefAddressFig2(t *testing.T) {
+	// The paper's Figure 2: DO J / DO I,4 with A(I+2,J) etc., 8-byte
+	// elements, column-major N x M.
+	p := ir.NewProgram("fig2")
+	n := p.Param("N", 400)
+	_ = n
+	a := p.AddArray("A", 8, n, p.Param("M", 100))
+	vs := vars(p, "i", "j")
+	i, j := vs[0], vs[1]
+
+	strides := []int64{8, 3200} // elem, N*elem for N=400
+
+	r1 := a.Read(ir.Add(i, ir.C(2)), j) // A(I+2,J)
+	f1 := RefAddress(r1, strides)
+	if f1.Coeff["i"] != 8 || f1.Coeff["j"] != 3200 || f1.Const != 16 {
+		t.Errorf("A(I+2,J) form = %v", f1)
+	}
+
+	r2 := a.Read(i, ir.Sub(j, ir.C(1))) // A(I,J-1)
+	f2 := RefAddress(r2, strides)
+	if f2.Const != -3200 {
+		t.Errorf("A(I,J-1) const = %d, want -3200", f2.Const)
+	}
+
+	// Stride with respect to the I loop (step 4): 32 bytes, the paper's
+	// value for double-precision elements.
+	s := StrideWRT(f1, "i", 4)
+	if s.Class != StrideConst || s.Bytes != 32 {
+		t.Errorf("stride wrt I = %+v, want const 32", s)
+	}
+	// Stride with respect to J: one column.
+	sj := StrideWRT(f1, "j", 1)
+	if sj.Class != StrideConst || sj.Bytes != 3200 {
+		t.Errorf("stride wrt J = %+v, want const 3200", sj)
+	}
+	// The delta between related references is the difference of constants.
+	if d := f1.Const - f2.Const; d != 16+3200 {
+		t.Errorf("delta = %d, want 3216", d)
+	}
+}
+
+func TestStrideZero(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "i", "k")
+	i := vs[0]
+	f := Analyze(ir.Mul(i, ir.C(8)))
+	if got := StrideWRT(f, "k", 1); got.Class != StrideZero {
+		t.Errorf("stride wrt absent var = %v, want zero", got.Class)
+	}
+	// Coefficient that cancels to zero.
+	f2 := Analyze(ir.Sub(ir.Mul(i, ir.C(8)), ir.Mul(i, ir.C(8))))
+	if got := StrideWRT(f2, "i", 1); got.Class != StrideZero {
+		t.Errorf("cancelled stride = %v, want zero", got.Class)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "i", "j")
+	i, j := vs[0], vs[1]
+	f := Analyze(ir.Add(ir.Mul(ir.C(8), i), ir.C(64)))
+	if got := f.String(); got != "8*i + 64" {
+		t.Errorf("String = %q", got)
+	}
+	f2 := Analyze(ir.Mul(i, j))
+	if got := f2.String(); got != "0 [irregular: i,j]" {
+		t.Errorf("String = %q", got)
+	}
+	f3 := Analyze(ir.C(0))
+	if got := f3.String(); got != "0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	p := ir.NewProgram("t")
+	vs := vars(p, "z", "a", "m")
+	e := ir.Add(ir.Add(vs[0], vs[1]), vs[2])
+	f := Analyze(e)
+	got := f.Vars()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestStrideClassString(t *testing.T) {
+	if StrideZero.String() != "zero" || StrideConst.String() != "const" ||
+		StrideIrregular.String() != "irregular" || StrideIndirect.String() != "indirect" {
+		t.Error("StrideClass String values wrong")
+	}
+}

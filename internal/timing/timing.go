@@ -1,0 +1,68 @@
+// Package timing is the cycle model standing in for the paper's Itanium2
+// wall-clock measurements (Figures 8d and 11d).
+//
+// Cycles are modeled as a non-stall component (instruction execution at a
+// configurable CPI per memory access, covering the surrounding arithmetic)
+// plus stall components charged per miss at each level. Transformations
+// that affect only instruction-level parallelism — the paper's spcpft
+// unroll&jam, the improved instruction schedule, and the pushi
+// tiling/fusion instruction-cache overflow — are modeled as per-variant
+// adjustments to the non-stall term, exactly the role they play in the
+// paper's discussion.
+package timing
+
+import "reusetool/internal/cache"
+
+// Model computes cycle counts for one machine configuration.
+type Model struct {
+	Hier *cache.Hierarchy
+	// NonStallCPA is the non-stall cycles charged per memory access
+	// (instruction work between accesses). Defaults to Hier.BaseCPI when
+	// zero.
+	NonStallCPA float64
+}
+
+// New returns a timing model for the hierarchy.
+func New(h *cache.Hierarchy) *Model {
+	return &Model{Hier: h, NonStallCPA: h.BaseCPI}
+}
+
+// Breakdown is a cycle count split into components.
+type Breakdown struct {
+	NonStall float64
+	// StallByLevel holds per-level stall cycles, parallel to
+	// Hier.Levels.
+	StallByLevel []float64
+	Total        float64
+}
+
+// Stall sums all stall components.
+func (b Breakdown) Stall() float64 {
+	var s float64
+	for _, v := range b.StallByLevel {
+		s += v
+	}
+	return s
+}
+
+// Cycles computes the breakdown for a run with the given access count and
+// per-level miss counts (keyed by level name). nonStallScale multiplies
+// the non-stall term; use 1 for the baseline, <1 for ILP improvements
+// (unroll & jam, better schedules), >1 for ILP regressions (instruction
+// cache overflow).
+func (m *Model) Cycles(accesses uint64, misses map[string]float64, nonStallScale float64) Breakdown {
+	if nonStallScale == 0 {
+		nonStallScale = 1
+	}
+	cpa := m.NonStallCPA
+	if cpa == 0 {
+		cpa = 1
+	}
+	b := Breakdown{NonStall: float64(accesses) * cpa * nonStallScale}
+	b.StallByLevel = make([]float64, len(m.Hier.Levels))
+	for i, l := range m.Hier.Levels {
+		b.StallByLevel[i] = misses[l.Name] * l.Latency
+	}
+	b.Total = b.NonStall + b.Stall()
+	return b
+}

@@ -1,0 +1,58 @@
+package timing
+
+import (
+	"testing"
+
+	"reusetool/internal/cache"
+)
+
+func TestCyclesBreakdown(t *testing.T) {
+	h := cache.Itanium2()
+	m := New(h)
+	misses := map[string]float64{"L2": 100, "L3": 10, "TLB": 5}
+	b := m.Cycles(1000, misses, 1)
+	if b.NonStall != 1000 {
+		t.Errorf("non-stall = %v, want 1000 (CPI 1)", b.NonStall)
+	}
+	wantStall := 100*8.0 + 10*120.0 + 5*30.0
+	if got := b.Stall(); got != wantStall {
+		t.Errorf("stall = %v, want %v", got, wantStall)
+	}
+	if b.Total != b.NonStall+wantStall {
+		t.Errorf("total = %v", b.Total)
+	}
+}
+
+func TestNonStallScale(t *testing.T) {
+	m := New(cache.Itanium2())
+	base := m.Cycles(1000, nil, 1)
+	improved := m.Cycles(1000, nil, 0.5)
+	regressed := m.Cycles(1000, nil, 1.5)
+	if improved.NonStall != base.NonStall/2 {
+		t.Errorf("scale 0.5: %v vs %v", improved.NonStall, base.NonStall)
+	}
+	if regressed.NonStall != base.NonStall*1.5 {
+		t.Errorf("scale 1.5: %v vs %v", regressed.NonStall, base.NonStall)
+	}
+	// Zero scale means "default" (1), not free execution.
+	if got := m.Cycles(1000, nil, 0); got.NonStall != base.NonStall {
+		t.Errorf("scale 0 should default to 1: %v", got.NonStall)
+	}
+}
+
+func TestMissingLevelsCountZero(t *testing.T) {
+	m := New(cache.Itanium2())
+	b := m.Cycles(10, map[string]float64{"L2": 1}, 1)
+	if b.StallByLevel[1] != 0 || b.StallByLevel[2] != 0 {
+		t.Errorf("unlisted levels should stall 0: %v", b.StallByLevel)
+	}
+}
+
+func TestDefaultCPA(t *testing.T) {
+	h := cache.Itanium2()
+	m := &Model{Hier: h} // NonStallCPA left zero
+	b := m.Cycles(100, nil, 1)
+	if b.NonStall != 100 {
+		t.Errorf("zero CPA should default to 1: %v", b.NonStall)
+	}
+}

@@ -1,0 +1,410 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+)
+
+// GTCConfig parameterizes the Gyrokinetic Toroidal Code kernel model.
+//
+// The model follows the paper's Section V-B description of the PIC
+// algorithm on one poloidal plane: deposit charge from particles onto the
+// grid (chargei), solve and smooth the potential (poisson, smooth, with a
+// prime-factor transform spcpft), and push particles (pushi plus the "C"
+// routine gcmotion), all inside a time-step loop running a two-phase
+// Runge-Kutta predictor-corrector. Particle state lives in the
+// seven-field zion array (plus its zion0 shadow), stored as an array of
+// records unless ZionSoA transposes it — the paper's headline
+// fragmentation problem.
+type GTCConfig struct {
+	// Grid is the number of grid points on the poloidal plane.
+	Grid int64
+	// Micell is the number of particles per cell; Grid*Micell particles.
+	Micell int64
+	// TimeSteps is the number of outer time steps (each runs two
+	// Runge-Kutta phases).
+	TimeSteps int64
+	// Seed drives the particle-to-grid assignment.
+	Seed int64
+
+	// The paper's cumulative transformations, in Figure 11 order.
+	ZionSoA       bool // transpose zion/zion0 from AoS to SoA
+	ChargeiFused  bool // fuse chargei's two particle loops
+	SpcpftUJ      bool // unroll&jam in spcpft (ILP only; see NonStall)
+	PoissonLinear bool // linearize the ring/indexp arrays
+	SmoothLI      bool // interchange the smooth loop nest
+	PushiTiled    bool // strip-mine+fuse pushi's loops and gcmotion
+}
+
+// DefaultGTC returns the scaled-down default configuration (paper: one
+// poloidal plane with 64 radial grid points, 15 particles per cell).
+func DefaultGTC() GTCConfig {
+	return GTCConfig{Grid: 2048, Micell: 15, TimeSteps: 1, Seed: 20080420}
+}
+
+// mr is the ring/indexp inner extent (gyro-averaging points per grid
+// point); nindex(g) in [mrMin, mr] of them are used.
+const (
+	mr     = 9
+	mrMin  = 3
+	stripe = 64 // pushi tiling stripe
+)
+
+// GTC builds the kernel model and returns the program plus the init
+// function that fills the index (data) arrays; pass it to interp.Run via
+// interp.WithInit.
+func GTC(cfg GTCConfig) (*ir.Program, func(*interp.Machine) error, error) {
+	if cfg.Grid < 64 || cfg.Micell < 1 || cfg.TimeSteps < 1 {
+		return nil, nil, fmt.Errorf("gtc: invalid config %+v", cfg)
+	}
+
+	p := ir.NewProgram("gtc-" + cfg.ShortName())
+	g := p.Param("grid", cfg.Grid)
+	micell := p.Param("micell", cfg.Micell)
+	_ = micell
+	mi := p.Param("mi", cfg.Grid*cfg.Micell)
+	ts := p.Param("ts", cfg.TimeSteps)
+
+	// Particle arrays: zion has 7 fields per particle.
+	type zstore struct {
+		aos    *ir.Array
+		fields []*ir.Array
+	}
+	mkZion := func(name string) zstore {
+		if cfg.ZionSoA {
+			z := zstore{}
+			for f := 0; f < 7; f++ {
+				z.fields = append(z.fields, p.AddArray(fmt.Sprintf("%s%d", name, f+1), 8, mi))
+			}
+			return z
+		}
+		return zstore{aos: p.AddArray(name, 8, ir.C(7), mi)}
+	}
+	zion := mkZion("zion")
+	zion0 := mkZion("zion0")
+	zR := func(z zstore, f int64, pe ir.Expr) *ir.Ref {
+		if z.aos != nil {
+			return z.aos.Read(ir.C(f), pe)
+		}
+		return z.fields[f].Read(pe)
+	}
+	zW := func(z zstore, f int64, pe ir.Expr) *ir.Ref {
+		r := zR(z, f, pe)
+		r.Write = true
+		return r
+	}
+
+	igrid := p.AddDataArray("igrid", 8, mi)
+	wz := p.AddArray("wz", 8, mi)
+	wp := p.AddArray("wp", 8, mi)
+	vdr := p.AddArray("vdr", 8, mi)
+
+	rho := p.AddArray("rho", 8, g)
+	phi := p.AddArray("phi", 8, g)
+	ev := p.AddArray("evector", 8, ir.C(3), g)
+
+	nindexA := p.AddDataArray("nindex", 8, g)
+	var ring, indexp, ring1, indexp1 *ir.Array
+	var poff *ir.Array
+	if cfg.PoissonLinear {
+		// Packed layouts: one entry per used (m, g) pair.
+		packedLen := ir.Mul(g, ir.C(mr)) // upper bound; exact fill at init
+		ring1 = p.AddArray("ring", 8, packedLen)
+		indexp1 = p.AddDataArray("indexp", 8, packedLen)
+		poff = p.AddDataArray("poff", 8, g)
+	} else {
+		ring = p.AddArray("ring", 8, ir.C(mr), g)
+		indexp = p.AddDataArray("indexp", 8, ir.C(mr), g)
+	}
+
+	// smooth's 3D array, shaped (64, 8, Grid/64+1): the first dimension is
+	// the innermost in memory, so the original loop order (outer loop
+	// over the inner dimension, innermost loop striding d1*d2 elements =
+	// one 4KB page) walks a page per access, cycling one page more than
+	// the scaled TLB holds — the classic LRU thrash the paper's loop
+	// interchange removes.
+	d1 := p.Param("d1", 64)
+	d2 := p.Param("d2", 8)
+	d3e := ir.Add(ir.Div(g, ir.C(64)), ir.C(1))
+	phism := p.AddArray("phismu", 8, d1, d2, d3e)
+
+	// Variables.
+	tv, irk := p.Var("tstep"), p.Var("irk")
+	pv := p.Var("p")
+	gv, mv := p.Var("gp"), p.Var("m")
+	i1, i2, i3 := p.Var("i1"), p.Var("i2"), p.Var("i3")
+	it2 := p.Var("iter")
+	sv := p.Var("s")
+	sLo, sHi := p.Var("sLo"), p.Var("sHi")
+
+	miEnd := ir.Sub(mi, ir.C(1))
+	gEnd := ir.Sub(g, ir.C(1))
+	gload := func(pe ir.Expr) ir.Expr { return &ir.Load{Array: igrid, Index: []ir.Expr{pe}} }
+
+	// ---- chargei ----
+	chargei := p.AddRoutine("chargei", "chargei.F90", 100)
+	depositRefs := func(pe ir.Expr) []*ir.Ref {
+		refs := []*ir.Ref{wz.Read(pe), wp.Read(pe), igrid.Read(pe)}
+		for d := int64(0); d < 4; d++ {
+			loc := ir.Add(gload(pe), ir.C(d))
+			refs = append(refs, rho.Read(loc), func() *ir.Ref {
+				r := rho.Read(ir.Add(gload(pe), ir.C(d)))
+				r.Write = true
+				return r
+			}())
+		}
+		return refs
+	}
+	gatherRefs := func(pe ir.Expr) []*ir.Ref {
+		return []*ir.Ref{
+			zR(zion, 0, pe), zR(zion, 1, pe), zR(zion, 4, pe),
+			igrid.Read(pe),
+			wz.WriteRef(pe), wp.WriteRef(pe),
+		}
+	}
+	if cfg.ChargeiFused {
+		chargei.Body = []ir.Stmt{
+			ir.For(pv, ir.C(0), miEnd,
+				ir.Do(gatherRefs(pv)...),
+				ir.Do(depositRefs(pv)...),
+			).At(110),
+		}
+	} else {
+		chargei.Body = []ir.Stmt{
+			ir.For(pv, ir.C(0), miEnd, ir.Do(gatherRefs(pv)...)).At(110),
+			ir.For(pv, ir.C(0), miEnd, ir.Do(depositRefs(pv)...)).At(150),
+		}
+	}
+
+	// ---- poisson ----
+	poisson := p.AddRoutine("poisson", "poisson.f90", 70)
+	var poissonInner ir.Stmt
+	if cfg.PoissonLinear {
+		off := func() ir.Expr { return ir.Add(&ir.Load{Array: poff, Index: []ir.Expr{gv}}, mv) }
+		poissonInner = ir.For(mv, ir.C(0),
+			ir.Sub(&ir.Load{Array: nindexA, Index: []ir.Expr{gv}}, ir.C(1)),
+			ir.Do(
+				indexp1.Read(off()),
+				ring1.Read(off()),
+				phi.Read(&ir.Load{Array: indexp1, Index: []ir.Expr{off()}}),
+			),
+		).At(95)
+	} else {
+		poissonInner = ir.For(mv, ir.C(0),
+			ir.Sub(&ir.Load{Array: nindexA, Index: []ir.Expr{gv}}, ir.C(1)),
+			ir.Do(
+				indexp.Read(mv, gv),
+				ring.Read(mv, gv),
+				phi.Read(&ir.Load{Array: indexp, Index: []ir.Expr{mv, gv}}),
+			),
+		).At(95)
+	}
+	poisson.Body = []ir.Stmt{
+		ir.For(it2, ir.C(0), ir.C(4),
+			ir.For(gv, ir.C(0), gEnd,
+				ir.Do(rho.Read(gv)),
+				poissonInner,
+				ir.Do(phi.WriteRef(gv), phi.Read(gv)),
+			).At(90),
+		).At(74),
+	}
+
+	// ---- spcpft (prime-factor transform with a short recurrence) ----
+	spcpft := p.AddRoutine("spcpft", "spcpft.f", 20)
+	spcpft.Body = []ir.Stmt{
+		ir.For(gv, ir.C(1), gEnd,
+			ir.Do(phi.Read(ir.Sub(gv, ir.C(1))), phi.Read(gv), phi.WriteRef(gv)),
+		).At(25),
+	}
+
+	// ---- smooth ----
+	smooth := p.AddRoutine("smooth", "smooth.F90", 300)
+	smoothBody := ir.Do(phism.Read(i1, i2, i3), phism.WriteRef(i1, i2, i3))
+	if cfg.SmoothLI {
+		// Interchanged: the loop over the inner dimension is innermost.
+		smooth.Body = []ir.Stmt{
+			ir.For(i3, ir.C(0), ir.Sub(d3e, ir.C(1)),
+				ir.For(i2, ir.C(0), ir.Sub(d2, ir.C(1)),
+					ir.For(i1, ir.C(0), ir.Sub(d1, ir.C(1)), smoothBody).At(312),
+				).At(311),
+			).At(310),
+		}
+	} else {
+		// Original: the outer loop walks the inner dimension; the
+		// innermost loop jumps d1*d2 elements per iteration.
+		smooth.Body = []ir.Stmt{
+			ir.For(i1, ir.C(0), ir.Sub(d1, ir.C(1)),
+				ir.For(i2, ir.C(0), ir.Sub(d2, ir.C(1)),
+					ir.For(i3, ir.C(0), ir.Sub(d3e, ir.C(1)), smoothBody).At(312),
+				).At(311),
+			).At(310),
+		}
+	}
+
+	// ---- gcmotion ("C" routine; operates on [sLo, sHi]) ----
+	gcmotion := p.AddRoutine("gcmotion", "gcmotion.c", 50)
+	gcmotion.Body = []ir.Stmt{
+		ir.For(pv, sLo, sHi,
+			ir.Do(
+				zR(zion, 0, pv), zR(zion, 1, pv), zR(zion, 2, pv), zR(zion, 3, pv),
+				zR(zion, 4, pv), zR(zion, 5, pv), zR(zion, 6, pv),
+				zW(zion, 2, pv), zW(zion, 3, pv), zW(zion, 4, pv), zW(zion, 5, pv),
+				vdr.Read(pv),
+			),
+		).At(55),
+	}
+
+	// ---- pushi ----
+	pushi := p.AddRoutine("pushi", "pushi.F90", 200)
+	loopARefs := func(pe ir.Expr) []*ir.Ref {
+		return []*ir.Ref{
+			zR(zion, 0, pe), zR(zion, 1, pe), zR(zion, 2, pe), zR(zion, 3, pe),
+			igrid.Read(pe),
+			ev.Read(ir.C(0), gload(pe)), ev.Read(ir.C(1), gload(pe)), ev.Read(ir.C(2), gload(pe)),
+			vdr.WriteRef(pe),
+		}
+	}
+	loopBRefs := func(pe ir.Expr) []*ir.Ref {
+		return []*ir.Ref{vdr.Read(pe), zR(zion, 5, pe), zW(zion, 6, pe)}
+	}
+	if cfg.PushiTiled {
+		pushi.Body = []ir.Stmt{
+			ir.ForStep(sv, ir.C(0), miEnd, ir.C(stripe),
+				ir.Set(sLo, sv),
+				ir.Set(sHi, ir.Min(miEnd, ir.Add(sv, ir.C(stripe-1)))),
+				ir.For(pv, sLo, sHi, ir.Do(loopARefs(pv)...)).At(210),
+				ir.For(pv, sLo, sHi, ir.Do(loopBRefs(pv)...)).At(230),
+				ir.CallTo(gcmotion),
+			).At(205),
+		}
+	} else {
+		pushi.Body = []ir.Stmt{
+			ir.For(pv, ir.C(0), miEnd, ir.Do(loopARefs(pv)...)).At(210),
+			ir.For(pv, ir.C(0), miEnd, ir.Do(loopBRefs(pv)...)).At(230),
+			ir.Set(sLo, ir.C(0)),
+			ir.Set(sHi, miEnd),
+			ir.CallTo(gcmotion),
+		}
+	}
+
+	// ---- main ----
+	main := p.AddRoutine("main", "main.F90", 139)
+	p.Main = main
+	// Predictor copy: save 4 of zion's 7 fields into zion0 (partial-field
+	// walk — fragmentation on both arrays in AoS form).
+	copyLoop := ir.For(pv, ir.C(0), miEnd,
+		ir.Do(
+			zR(zion, 0, pv), zW(zion0, 0, pv),
+			zR(zion, 1, pv), zW(zion0, 1, pv),
+			zR(zion, 2, pv), zW(zion0, 2, pv),
+			zR(zion, 3, pv), zW(zion0, 3, pv),
+		),
+	).At(150)
+	// Diagnostic: touch a single field of zion (1 of 7).
+	diagLoop := ir.For(pv, ir.C(0), miEnd, ir.Do(zR(zion, 6, pv))).At(330)
+
+	rkBody := []ir.Stmt{
+		copyLoop,
+		ir.CallTo(chargei),
+		ir.CallTo(poisson),
+		ir.CallTo(spcpft),
+		// The field smoothing runs once per time step (predictor phase).
+		ir.When(ir.Eq(irk, ir.C(0)), ir.CallTo(smooth)),
+		ir.CallTo(pushi),
+		diagLoop,
+	}
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(ts, ir.C(1)),
+			ir.For(irk, ir.C(0), ir.C(1), rkBody...).AsTimeStep().At(146),
+		).AsTimeStep().At(139),
+	}
+
+	// ---- init ----
+	seed := cfg.Seed
+	grid := cfg.Grid
+	init := func(m *interp.Machine) error {
+		rng := rand.New(rand.NewSource(seed))
+		nPart := m.ArrayLen(igrid)
+		for i := int64(0); i < nPart; i++ {
+			m.SetData(igrid, i, rng.Int63n(grid-4))
+		}
+		// nindex(g) in [mrMin, mr].
+		nvals := make([]int64, grid)
+		for gp := int64(0); gp < grid; gp++ {
+			nvals[gp] = mrMin + rng.Int63n(mr-mrMin+1)
+			m.SetData(nindexA, gp, nvals[gp])
+		}
+		if cfg.PoissonLinear {
+			var off int64
+			for gp := int64(0); gp < grid; gp++ {
+				m.SetData(poff, gp, off)
+				for mm := int64(0); mm < nvals[gp]; mm++ {
+					m.SetData(indexp1, off, (gp+mm+1)%grid)
+					off++
+				}
+			}
+		} else {
+			for gp := int64(0); gp < grid; gp++ {
+				for mm := int64(0); mm < mr; mm++ {
+					m.SetData(indexp, gp*mr+mm, (gp+mm+1)%grid)
+				}
+			}
+		}
+		return nil
+	}
+	return p, init, nil
+}
+
+// ShortName renders a compact variant tag.
+func (c GTCConfig) ShortName() string {
+	s := "orig"
+	switch {
+	case c.PushiTiled:
+		s = "pushi"
+	case c.SmoothLI:
+		s = "smooth"
+	case c.PoissonLinear:
+		s = "poisson"
+	case c.SpcpftUJ:
+		s = "spcpft"
+	case c.ChargeiFused:
+		s = "chargei"
+	case c.ZionSoA:
+		s = "zion"
+	}
+	return s
+}
+
+// GTCVariant couples a configuration with its Figure 11 legend label and
+// the non-stall cycle scale the timing model applies (ILP-only effects).
+type GTCVariant struct {
+	Label  string
+	Config GTCConfig
+	// NonStall scales the timing model's non-stall term: <1 for ILP
+	// improvements (unroll & jam), back up for the pushi tiling variant
+	// whose stripe loop overflows the Itanium's 16KB instruction cache.
+	NonStall float64
+}
+
+// GTCVariants returns the paper's Figure 11 cumulative transformation
+// sequence for the given base configuration.
+func GTCVariants(base GTCConfig) []GTCVariant {
+	v := base
+	out := []GTCVariant{{Label: "gtc_original", Config: v, NonStall: 1.0}}
+	v.ZionSoA = true
+	out = append(out, GTCVariant{Label: "+zion transpose", Config: v, NonStall: 1.0})
+	v.ChargeiFused = true
+	out = append(out, GTCVariant{Label: "+chargei fusion", Config: v, NonStall: 1.0})
+	v.SpcpftUJ = true
+	out = append(out, GTCVariant{Label: "+spcpft u&j", Config: v, NonStall: 0.92})
+	v.PoissonLinear = true
+	out = append(out, GTCVariant{Label: "+poisson transforms", Config: v, NonStall: 0.92})
+	v.SmoothLI = true
+	out = append(out, GTCVariant{Label: "+smooth LI", Config: v, NonStall: 0.92})
+	v.PushiTiled = true
+	out = append(out, GTCVariant{Label: "+pushi tiling/fusion", Config: v, NonStall: 1.0})
+	return out
+}

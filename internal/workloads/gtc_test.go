@@ -1,0 +1,248 @@
+package workloads
+
+import (
+	"testing"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/cachesim"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+)
+
+func gtcCfg() GTCConfig {
+	return GTCConfig{Grid: 256, Micell: 4, TimeSteps: 1, Seed: 7}
+}
+
+func runGTC(t *testing.T, cfg GTCConfig, h trace.Handler) (*ir.Info, *interp.Result) {
+	t.Helper()
+	p, init, err := GTC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := MustFinalize(p)
+	res, err := interp.Run(info, nil, h, interp.WithInit(init))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, res
+}
+
+// TestGTCVariantsPerformSameWork: every cumulative variant executes the
+// same number of memory references — the transformations only reorder
+// work and relayout data.
+func TestGTCVariantsPerformSameWork(t *testing.T) {
+	var base uint64
+	for i, v := range GTCVariants(gtcCfg()) {
+		var c trace.Counter
+		info, _ := runGTC(t, v.Config, &c)
+		if c.Enters != c.Exits {
+			t.Fatalf("%s: unbalanced scope events", v.Label)
+		}
+		if i == 0 {
+			base = c.Accesses
+			if base == 0 {
+				t.Fatal("no accesses")
+			}
+			continue
+		}
+		if c.Accesses != base {
+			t.Errorf("%s: %d accesses, want %d", v.Label, c.Accesses, base)
+		}
+		_ = info
+	}
+}
+
+func TestGTCScopeStructure(t *testing.T) {
+	info, _ := runGTC(t, gtcCfg(), trace.Discard{})
+	for _, name := range []string{"chargei", "poisson", "smooth", "pushi", "gcmotion", "spcpft", "main"} {
+		if FindScope(info, scope.KindRoutine, name) == trace.NoScope {
+			t.Errorf("missing routine %q", name)
+		}
+	}
+	// Both the time-step loop and the RK loop are marked.
+	tstep := FindScope(info, scope.KindLoop, "tstep")
+	irk := FindScope(info, scope.KindLoop, "irk")
+	if !info.Scopes.Node(tstep).TimeStep || !info.Scopes.Node(irk).TimeStep {
+		t.Error("time-step loops not marked")
+	}
+	// gcmotion lives in a separate file ("different language").
+	gc := FindScope(info, scope.KindRoutine, "gcmotion")
+	if info.Scopes.Node(info.Scopes.Parent(gc)).Name != "gcmotion.c" {
+		t.Errorf("gcmotion file = %q", info.Scopes.Node(info.Scopes.Parent(gc)).Name)
+	}
+}
+
+func TestGTCZionLayouts(t *testing.T) {
+	// AoS: one zion array with 7-field records.
+	pa, _, err := GTC(gtcCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aos *ir.Array
+	for _, a := range pa.Arrays {
+		if a.Name == "zion" {
+			aos = a
+		}
+	}
+	if aos == nil || aos.Rank() != 2 {
+		t.Fatal("AoS zion missing or wrong rank")
+	}
+	// SoA: seven per-field vectors.
+	cfg := gtcCfg()
+	cfg.ZionSoA = true
+	ps, _, err := GTC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fieldCount int
+	for _, a := range ps.Arrays {
+		if len(a.Name) == 5 && a.Name[:4] == "zion" {
+			fieldCount++
+		}
+	}
+	if fieldCount != 7 {
+		t.Errorf("SoA zion fields = %d, want 7", fieldCount)
+	}
+}
+
+// TestGTCSmoothLIRemovesTLBMisses: the interchanged smooth loop must
+// slash TLB misses, the paper's Figure 10(b) outcome.
+func TestGTCSmoothLIRemovesTLBMisses(t *testing.T) {
+	hier := cache.ScaledItanium2()
+
+	// The smooth array must exceed the scaled TLB reach (32 x 4KB pages),
+	// which needs the full-size grid.
+	cfgA := gtcCfg()
+	cfgA.Grid = 2048
+	cfgA.Micell = 1
+	simA := cachesim.New(hier)
+	infoA, _ := runGTC(t, cfgA, simA)
+
+	cfgB := cfgA
+	cfgB.SmoothLI = true
+	simB := cachesim.New(hier)
+	infoB, _ := runGTC(t, cfgB, simB)
+
+	// Compare TLB misses attributed to the smooth routine subtree.
+	tlbA := scopeSubtreeMisses(infoA, simA.MissesByScope("TLB"), "smooth")
+	tlbB := scopeSubtreeMisses(infoB, simB.MissesByScope("TLB"), "smooth")
+	if tlbA == 0 {
+		t.Fatal("original smooth has no TLB misses; model broken")
+	}
+	if tlbB*4 > tlbA {
+		t.Errorf("smooth LI: TLB misses %d -> %d; expected at least 4x reduction", tlbA, tlbB)
+	}
+}
+
+// scopeSubtreeMisses sums per-scope misses over the subtree rooted at the
+// named routine.
+func scopeSubtreeMisses(info *ir.Info, byScope []uint64, routine string) uint64 {
+	root := FindScope(info, scope.KindRoutine, routine)
+	var sum uint64
+	info.Scopes.PreOrder(func(id trace.ScopeID) {
+		if info.Scopes.IsAncestor(root, id) && int(id) < len(byScope) {
+			sum += byScope[id]
+		}
+	})
+	return sum
+}
+
+// TestGTCZionTransposeReducesMisses: the SoA transpose must cut L3-level
+// misses on the particle arrays (Figure 11's dominant effect).
+func TestGTCZionTransposeReducesMisses(t *testing.T) {
+	hier := cache.ScaledItanium2()
+	cfgA := gtcCfg()
+	cfgA.Micell = 8 // enough particles that zion exceeds the scaled L3
+	simA := cachesim.New(hier)
+	runGTC(t, cfgA, simA)
+
+	cfgB := cfgA
+	cfgB.ZionSoA = true
+	simB := cachesim.New(hier)
+	runGTC(t, cfgB, simB)
+
+	a, b := simA.Misses("L3"), simB.Misses("L3")
+	if b >= a {
+		t.Errorf("zion transpose did not reduce L3 misses: %d -> %d", a, b)
+	}
+	// The paper reports roughly halved cache misses from the transpose
+	// plus the other transformations; the transpose alone should cut at
+	// least 20%.
+	if float64(b) > 0.8*float64(a) {
+		t.Errorf("zion transpose reduction too small: %d -> %d", a, b)
+	}
+}
+
+// TestGTCPushiTilingReducesMisses: strip-mine+fuse shortens the
+// pushi/gcmotion reuse distances.
+func TestGTCPushiTilingReducesMisses(t *testing.T) {
+	hier := cache.ScaledItanium2()
+	cfgA := gtcCfg()
+	cfgA.Micell = 8
+	simA := cachesim.New(hier)
+	infoA, _ := runGTC(t, cfgA, simA)
+
+	cfgB := cfgA
+	cfgB.PushiTiled = true
+	simB := cachesim.New(hier)
+	infoB, _ := runGTC(t, cfgB, simB)
+
+	a := scopeSubtreeMisses(infoA, simA.MissesByScope("L3"), "pushi") +
+		scopeSubtreeMisses(infoA, simA.MissesByScope("L3"), "gcmotion")
+	b := scopeSubtreeMisses(infoB, simB.MissesByScope("L3"), "pushi") +
+		scopeSubtreeMisses(infoB, simB.MissesByScope("L3"), "gcmotion")
+	if b >= a {
+		t.Errorf("pushi tiling did not reduce pushi+gcmotion L3 misses: %d -> %d", a, b)
+	}
+}
+
+func TestGTCChargeiFusionReducesMisses(t *testing.T) {
+	hier := cache.ScaledItanium2()
+	cfgA := gtcCfg()
+	cfgA.Micell = 8
+	simA := cachesim.New(hier)
+	infoA, _ := runGTC(t, cfgA, simA)
+
+	cfgB := cfgA
+	cfgB.ChargeiFused = true
+	simB := cachesim.New(hier)
+	infoB, _ := runGTC(t, cfgB, simB)
+
+	a := scopeSubtreeMisses(infoA, simA.MissesByScope("L3"), "chargei")
+	b := scopeSubtreeMisses(infoB, simB.MissesByScope("L3"), "chargei")
+	if b >= a {
+		t.Errorf("chargei fusion did not reduce chargei L3 misses: %d -> %d", a, b)
+	}
+}
+
+func TestGTCInvalidConfig(t *testing.T) {
+	bad := []GTCConfig{
+		{Grid: 10, Micell: 1, TimeSteps: 1},
+		{Grid: 256, Micell: 0, TimeSteps: 1},
+		{Grid: 256, Micell: 1, TimeSteps: 0},
+	}
+	for _, cfg := range bad {
+		if _, _, err := GTC(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestGTCVariantSequence(t *testing.T) {
+	vs := GTCVariants(gtcCfg())
+	if len(vs) != 7 {
+		t.Fatalf("variants = %d, want 7", len(vs))
+	}
+	if vs[0].Label != "gtc_original" || vs[6].Label != "+pushi tiling/fusion" {
+		t.Errorf("labels wrong: %s ... %s", vs[0].Label, vs[6].Label)
+	}
+	// Cumulative flags.
+	if !vs[6].Config.ZionSoA || !vs[6].Config.SmoothLI || !vs[6].Config.PushiTiled {
+		t.Error("final variant should have all transformations")
+	}
+	if vs[1].Config.ChargeiFused {
+		t.Error("second variant should only have the transpose")
+	}
+}

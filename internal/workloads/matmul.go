@@ -1,0 +1,104 @@
+package workloads
+
+import "reusetool/internal/ir"
+
+// MatMul builds a dense matrix multiply C += A*B over n x n column-major
+// matrices (ijk order: i outer, k inner). With block > 0 all three loops
+// are tiled — the loop-blocking transformation of Table I's third row.
+// The blocked variant performs exactly the same accesses in a different
+// order.
+func MatMul(n, block int64) *ir.Program {
+	name := "matmul"
+	if block > 0 {
+		name = "matmul-blocked"
+	}
+	p := ir.NewProgram(name)
+	np := p.Param("N", n)
+	a := p.AddArray("A", 8, np, np)
+	b := p.AddArray("B", 8, np, np)
+	c := p.AddArray("C", 8, np, np)
+	i, j, k := p.Var("i"), p.Var("j"), p.Var("k")
+	main := p.AddRoutine("main", "matmul.f", 1)
+
+	body := ir.Do(
+		c.Read(i, j),
+		a.Read(i, k),
+		b.Read(k, j),
+		c.WriteRef(i, j),
+	)
+	end := ir.Sub(np, ir.C(1))
+
+	if block <= 0 {
+		main.Body = []ir.Stmt{
+			ir.For(j, ir.C(0), end,
+				ir.For(k, ir.C(0), end,
+					ir.For(i, ir.C(0), end, body).At(4),
+				).At(3),
+			).At(2),
+		}
+		return p
+	}
+
+	jj, kk := p.Var("jj"), p.Var("kk")
+	bm1 := ir.C(block - 1)
+	main.Body = []ir.Stmt{
+		ir.ForStep(jj, ir.C(0), end, ir.C(block),
+			ir.ForStep(kk, ir.C(0), end, ir.C(block),
+				ir.For(j, jj, ir.Min(end, ir.Add(jj, bm1)),
+					ir.For(k, kk, ir.Min(end, ir.Add(kk, bm1)),
+						ir.For(i, ir.C(0), end, body).At(6),
+					).At(5),
+				).At(4),
+			).At(3),
+		).At(2),
+	}
+	return p
+}
+
+// Gather builds t passes of an indirect read A[idx[p]] over n elements,
+// with the index contents chosen by order:
+//
+//	"sorted"  — identity permutation (perfect locality),
+//	"random"  — a seeded shuffle (the irregular pattern of Table I row 2),
+//	"strided" — a large co-prime stride (pathological but deterministic).
+//
+// Comparing "random" against "sorted" quantifies the payoff of the data
+// reordering the paper's Table I recommends for irregular self-reuse.
+func Gather(n, passes int64, order string, seed int64) (*ir.Program, func(m Filler) error) {
+	prog, idx := RandomGather(n, passes)
+	fill := func(m Filler) error {
+		switch order {
+		case "sorted":
+			m.FillData(idx, func(i int64) int64 { return i })
+		case "strided":
+			m.FillData(idx, func(i int64) int64 { return (i * 997) % n })
+		default: // random
+			perm := pseudoShuffle(n, seed)
+			m.FillData(idx, func(i int64) int64 { return perm[i] })
+		}
+		return nil
+	}
+	return prog, fill
+}
+
+// Filler is the subset of interp.Machine the Gather initializer needs;
+// declared locally to avoid importing interp from the builder layer.
+type Filler interface {
+	FillData(a *ir.Array, f func(i int64) int64)
+}
+
+// pseudoShuffle builds a deterministic permutation of [0,n) using a
+// multiplicative hash walk (no math/rand to keep builders allocation-lean).
+func pseudoShuffle(n, seed int64) []int64 {
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := n - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int64(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}

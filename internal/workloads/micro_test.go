@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"testing"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/cachesim"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+)
+
+func simulate(t *testing.T, p *ir.Program, init func(*interp.Machine) error) *cachesim.Sim {
+	t.Helper()
+	info := MustFinalize(p)
+	sim := cachesim.New(cache.ScaledItanium2())
+	var opts []interp.Option
+	if init != nil {
+		opts = append(opts, interp.WithInit(init))
+	}
+	if _, err := interp.Run(info, nil, sim, opts...); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestStreamAccessCount(t *testing.T) {
+	p := Stream(1000, 3)
+	info := MustFinalize(p)
+	var c trace.Counter
+	if _, err := interp.Run(info, nil, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses != 3000 {
+		t.Errorf("accesses = %d, want 3000", c.Accesses)
+	}
+}
+
+func TestStencilBoundarySafety(t *testing.T) {
+	// The 5-point stencil stays in bounds for the smallest sensible size.
+	p := Stencil(3, 2)
+	info := MustFinalize(p)
+	if _, err := interp.Run(info, nil, trace.Discard{}); err != nil {
+		t.Fatalf("stencil(3) out of bounds: %v", err)
+	}
+}
+
+func TestTransposeMissAsymmetry(t *testing.T) {
+	sim := simulate(t, Transpose(256), nil)
+	byRef := sim.MissesByRef("L2")
+	// Ref 0 reads A (unit stride), ref 1 writes B (column stride): the
+	// write side must miss far more.
+	if len(byRef) < 2 || byRef[1] < 4*byRef[0] {
+		t.Errorf("transpose misses by ref = %v; expected write-dominated", byRef)
+	}
+}
+
+func TestMatMulBlockingReducesMisses(t *testing.T) {
+	const n = 96 // 3 matrices x 72KB: exceeds the scaled L2 (16KB)
+	plain := simulate(t, MatMul(n, 0), nil)
+	blocked := simulate(t, MatMul(n, 16), nil)
+	// Same work...
+	if plain.Accesses != blocked.Accesses {
+		t.Fatalf("access counts differ: %d vs %d", plain.Accesses, blocked.Accesses)
+	}
+	// ...far fewer L2 misses.
+	p, b := plain.Misses("L2"), blocked.Misses("L2")
+	if b*2 > p {
+		t.Errorf("blocking should cut L2 misses at least 2x: %d -> %d", p, b)
+	}
+}
+
+func TestGatherOrderingMatters(t *testing.T) {
+	const n = 1 << 14 // 128KB array: exceeds the scaled L3
+	mk := func(order string) *cachesim.Sim {
+		prog, fill := Gather(n, 2, order, 42)
+		return simulate(t, prog, func(m *interp.Machine) error { return fill(m) })
+	}
+	sorted := mk("sorted")
+	random := mk("random")
+	strided := mk("strided")
+	// Table I row 2: reordering the data (random -> sorted) removes the
+	// irregular misses.
+	if random.Misses("L2") < 4*sorted.Misses("L2") {
+		t.Errorf("random gather should miss >= 4x more than sorted: %d vs %d",
+			random.Misses("L2"), sorted.Misses("L2"))
+	}
+	if strided.Misses("TLB") <= sorted.Misses("TLB") {
+		t.Errorf("strided gather should thrash the TLB: %d vs %d",
+			strided.Misses("TLB"), sorted.Misses("TLB"))
+	}
+}
+
+func TestPseudoShuffleIsPermutation(t *testing.T) {
+	perm := pseudoShuffle(1000, 7)
+	seen := make([]bool, 1000)
+	for _, v := range perm {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	// Different seeds give different permutations.
+	perm2 := pseudoShuffle(1000, 8)
+	same := true
+	for i := range perm {
+		if perm[i] != perm2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical shuffles")
+	}
+}
+
+func TestFindScope(t *testing.T) {
+	p := Stream(100, 1)
+	info := MustFinalize(p)
+	if FindScope(info, scope.KindLoop, "i") == trace.NoScope {
+		t.Error("loop i not found")
+	}
+	if FindScope(info, scope.KindLoop, "zz") != trace.NoScope {
+		t.Error("absent scope should be NoScope")
+	}
+}
+
+func TestMustFinalizePanicsOnBadProgram(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinalize should panic on an empty program")
+		}
+	}()
+	MustFinalize(ir.NewProgram("empty"))
+}

@@ -1,0 +1,65 @@
+package workloads
+
+import "reusetool/internal/ir"
+
+// Stencil1D builds the plain form of a 1D three-point stencil over n
+// points for the given number of time steps: an update sweep into B
+// followed by a copy-back sweep into A, repeated per step. All reuse
+// between steps is carried by the time loop — Table I's last row, where
+// the recommended (and only) transformation is time skewing.
+func Stencil1D(n, steps int64) *ir.Program {
+	p := ir.NewProgram("stencil1d")
+	np := p.Param("N", n)
+	tp := p.Param("T", steps)
+	a := p.AddArray("A", 8, np)
+	b := p.AddArray("B", 8, np)
+	tv, i := p.Var("t"), p.Var("i")
+	main := p.AddRoutine("main", "stencil1d.f", 1)
+	end := ir.Sub(np, ir.C(2))
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(tp, ir.C(1)),
+			ir.For(i, ir.C(1), end,
+				ir.Do(a.Read(ir.Sub(i, ir.C(1))), a.Read(i), a.Read(ir.Add(i, ir.C(1))),
+					b.WriteRef(i))).At(3),
+			ir.For(i, ir.C(1), end,
+				ir.Do(b.Read(i), a.WriteRef(i))).At(5),
+		).AsTimeStep().At(2),
+	}
+	return p
+}
+
+// Stencil1DSkewed builds the time-skewed form: space-time parallelogram
+// tiles of width tile are processed one at a time, so a tile's working
+// set stays cached across all time steps before the sweep moves on. The
+// program models the memory access pattern of a legally skewed code (the
+// IR does not compute stencil values, so tile-boundary redundancy is not
+// represented).
+func Stencil1DSkewed(n, steps, tile int64) *ir.Program {
+	p := ir.NewProgram("stencil1d-skewed")
+	np := p.Param("N", n)
+	tp := p.Param("T", steps)
+	a := p.AddArray("A", 8, np)
+	b := p.AddArray("B", 8, np)
+	tv, i := p.Var("t"), p.Var("i")
+	i0 := p.Var("i0")
+	lo, hi := p.Var("lo"), p.Var("hi")
+	main := p.AddRoutine("main", "stencil1d.f", 1)
+	end := ir.Sub(np, ir.C(2))
+
+	// Tiles start at 1, 1+tile, ...; within a tile the i range slides
+	// left by one per time step (the classic skew), clipped to [1, N-2].
+	main.Body = []ir.Stmt{
+		ir.ForStep(i0, ir.C(1), ir.Add(end, ir.Sub(tp, ir.C(1))), ir.C(tile),
+			ir.For(tv, ir.C(0), ir.Sub(tp, ir.C(1)),
+				ir.Set(lo, ir.Max(ir.C(1), ir.Sub(i0, tv))),
+				ir.Set(hi, ir.Min(end, ir.Sub(ir.Add(i0, ir.C(tile-1)), tv))),
+				ir.For(i, lo, hi,
+					ir.Do(a.Read(ir.Sub(i, ir.C(1))), a.Read(i), a.Read(ir.Add(i, ir.C(1))),
+						b.WriteRef(i))).At(4),
+				ir.For(i, lo, hi,
+					ir.Do(b.Read(i), a.WriteRef(i))).At(6),
+			).AsTimeStep().At(3),
+		).At(2),
+	}
+	return p
+}

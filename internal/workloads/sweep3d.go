@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"fmt"
+
+	"reusetool/internal/ir"
+)
+
+// Sweep3DConfig parameterizes the Sweep3D kernel model.
+//
+// The model reproduces the loop structure of the paper's Figure 3 and the
+// access patterns of the loops in Figure 6: an octant loop (iq) around a
+// wavefront sweep whose diagonal planes in (j,k,mi) space are processed
+// one cell at a time, each cell running inner i/n loop nests over the
+// four-dimensional arrays src and flux (plus face, sigt and the phi/
+// phikb/phijb working arrays). Arrays are column-major with i innermost,
+// and src/flux are indexed by (i,j,k,n) — never by mi — which is exactly
+// the reuse opportunity the paper exploits.
+type Sweep3DConfig struct {
+	// N is the cubic mesh size (it = jt = kt = N).
+	N int64
+	// Angles is mmi, the number of angles per pipeline block (paper: 6).
+	Angles int64
+	// Moments is nm, the number of flux moments (paper's n loops).
+	Moments int64
+	// Octants is the number of sweep directions (paper: 8).
+	Octants int64
+	// TimeSteps repeats the whole sweep.
+	TimeSteps int64
+	// Block selects the variant. 0 reproduces the original (j,k,mi)
+	// wavefront. B >= 1 is the paper's mi-tiling: the sweep becomes a
+	// (j,k) wavefront with an innermost loop over a block of B angles per
+	// cell; B == 1 processes one angle per full sweep (the paper notes it
+	// matches the original's memory behaviour), B == Angles groups all
+	// angles of a cell consecutively.
+	Block int64
+	// DimInterchange applies the paper's final transformation: the n
+	// dimension of src and flux moves from the outermost to the second
+	// position, so a cell's whole working set is contiguous.
+	DimInterchange bool
+}
+
+// DefaultSweep3D returns the scaled-down default configuration (the paper
+// uses meshes 20-200 on full-size caches; experiments here run 8-40 on
+// the proportionally scaled hierarchy).
+func DefaultSweep3D() Sweep3DConfig {
+	return Sweep3DConfig{N: 16, Angles: 6, Moments: 4, Octants: 8, TimeSteps: 1}
+}
+
+// Name renders a variant label matching the paper's Figure 8 legend.
+func (c Sweep3DConfig) Name() string {
+	switch {
+	case c.Block == 0:
+		return "Original"
+	case c.DimInterchange:
+		return fmt.Sprintf("Blk%d+dimIC", c.Block)
+	default:
+		return fmt.Sprintf("Block size %d", c.Block)
+	}
+}
+
+// Sweep3D builds the kernel model for one configuration.
+func Sweep3D(cfg Sweep3DConfig) (*ir.Program, error) {
+	if cfg.N < 2 || cfg.Angles < 1 || cfg.Moments < 1 || cfg.Octants < 1 || cfg.TimeSteps < 1 {
+		return nil, fmt.Errorf("sweep3d: invalid config %+v", cfg)
+	}
+	if cfg.Block < 0 || cfg.Block > cfg.Angles {
+		return nil, fmt.Errorf("sweep3d: block %d out of range [0,%d]", cfg.Block, cfg.Angles)
+	}
+
+	p := ir.NewProgram("sweep3d-" + cfg.Name())
+	it := p.Param("it", cfg.N)
+	jt := p.Param("jt", cfg.N)
+	kt := p.Param("kt", cfg.N)
+	mmi := p.Param("mmi", cfg.Angles)
+	nm := p.Param("nm", cfg.Moments)
+	oct := p.Param("oct", cfg.Octants)
+	ts := p.Param("ts", cfg.TimeSteps)
+
+	// Arrays, column-major. src/flux: (i, j, k, n) originally; the
+	// dimension interchange moves n to position 2: (i, n, j, k).
+	var src, flux *ir.Array
+	if cfg.DimInterchange {
+		src = p.AddArray("src", 8, it, nm, jt, kt)
+		flux = p.AddArray("flux", 8, it, nm, jt, kt)
+	} else {
+		src = p.AddArray("src", 8, it, jt, kt, nm)
+		flux = p.AddArray("flux", 8, it, jt, kt, nm)
+	}
+	face := p.AddArray("face", 8, it, jt, kt, ir.C(3))
+	sigt := p.AddArray("sigt", 8, it, jt, kt)
+	phi := p.AddArray("phi", 8, it)
+	phikb := p.AddArray("phikb", 8, it, jt)
+	phijb := p.AddArray("phijb", 8, it, kt)
+	pn := p.AddArray("pn", 8, mmi, nm, oct)
+	w := p.AddArray("w", 8, mmi)
+
+	tv := p.Var("tstep")
+	iq := p.Var("iq")
+	mib := p.Var("mib")
+	idiag := p.Var("idiag")
+	miv := p.Var("mi")
+	kv := p.Var("k")
+	jv := p.Var("j")
+	iv := p.Var("i")
+	nv := p.Var("n")
+
+	// srcIdx/fluxIdx account for the dimension order variant.
+	srcIdx := func(a *ir.Array, i, j, k, n ir.Expr) *ir.Ref {
+		if cfg.DimInterchange {
+			return a.Read(i, n, j, k)
+		}
+		return a.Read(i, j, k, n)
+	}
+	srcW := func(a *ir.Array, i, j, k, n ir.Expr) *ir.Ref {
+		r := srcIdx(a, i, j, k, n)
+		r.Write = true
+		return r
+	}
+
+	// cellWork returns the per-cell loop nests of Figure 6 (and the
+	// sigt/phikb/phijb balance loop), for angle expression mi and cell
+	// (j,k).
+	cellWork := func(mi ir.Expr) []ir.Stmt {
+		itEnd := ir.Sub(it, ir.C(1))
+		nmEnd := ir.Sub(nm, ir.C(1))
+		return []ir.Stmt{
+			// 384-386: phi(i) = src(i,j,k,1)
+			ir.For(iv, ir.C(0), itEnd,
+				ir.Do(phi.WriteRef(iv), srcIdx(src, iv, jv, kv, ir.C(0))),
+			).At(384),
+			// 387-391: phi(i) += pn(m,n,iq)*src(i,j,k,n)
+			ir.For(nv, ir.C(1), nmEnd,
+				ir.For(iv, ir.C(0), itEnd,
+					ir.Do(phi.WriteRef(iv), phi.Read(iv), pn.Read(mi, nv, iq),
+						srcIdx(src, iv, jv, kv, nv)),
+				).At(388),
+			).At(387),
+			// 397-410: balance recursion over sigt and the plane buffers.
+			ir.For(iv, ir.C(0), itEnd,
+				ir.Do(phi.WriteRef(iv), phi.Read(iv), sigt.Read(iv, jv, kv),
+					phikb.Read(iv, jv), phikb.WriteRef(iv, jv),
+					phijb.Read(iv, kv), phijb.WriteRef(iv, kv)),
+			).At(397),
+			// 474-476: flux(i,j,k,1) += w(m)*phi(i)
+			ir.For(iv, ir.C(0), itEnd,
+				ir.Do(srcW(flux, iv, jv, kv, ir.C(0)), srcIdx(flux, iv, jv, kv, ir.C(0)),
+					w.Read(mi), phi.Read(iv)),
+			).At(474),
+			// 477-482: flux(i,j,k,n) += pn(m,n,iq)*w(m)*phi(i)
+			ir.For(nv, ir.C(1), nmEnd,
+				ir.For(iv, ir.C(0), itEnd,
+					ir.Do(srcW(flux, iv, jv, kv, nv), srcIdx(flux, iv, jv, kv, nv),
+						pn.Read(mi, nv, iq), phi.Read(iv)),
+				).At(478),
+			).At(477),
+			// 486-493: face accumulation, one component per mesh direction.
+			ir.For(iv, ir.C(0), itEnd,
+				ir.Do(
+					face.Read(iv, jv, kv, ir.C(0)), face.WriteRef(iv, jv, kv, ir.C(0)),
+					face.Read(iv, jv, kv, ir.C(1)), face.WriteRef(iv, jv, kv, ir.C(1)),
+					face.Read(iv, jv, kv, ir.C(2)), face.WriteRef(iv, jv, kv, ir.C(2)),
+					phi.Read(iv)),
+			).At(486),
+		}
+	}
+
+	main := p.AddRoutine("sweep", "sweep.f", 2)
+
+	jtEnd := ir.Sub(jt, ir.C(1))
+	ktEnd := ir.Sub(kt, ir.C(1))
+
+	var sweepBody ir.Stmt
+	if cfg.Block == 0 {
+		// Original: diagonal planes of the 3D (j,k,mi) wavefront.
+		// idiag ranges over plane sums; mi and k bounds clip the plane to
+		// the box, and j = idiag - mi - k is then in range by
+		// construction.
+		diagMax := ir.Sub(ir.Add(ir.Add(jt, kt), mmi), ir.C(3))
+		sweepBody = ir.For(idiag, ir.C(0), diagMax,
+			ir.For(miv,
+				ir.Max(ir.C(0), ir.Sub(idiag, ir.Add(jtEnd, ktEnd))),
+				ir.Min(ir.Sub(mmi, ir.C(1)), idiag),
+				ir.For(kv,
+					ir.Max(ir.C(0), ir.Sub(ir.Sub(idiag, miv), jtEnd)),
+					ir.Min(ktEnd, ir.Sub(idiag, miv)),
+					append([]ir.Stmt{ir.Set(jv, ir.Sub(ir.Sub(idiag, miv), kv))},
+						cellWork(miv)...)...,
+				).At(353),
+			).At(340),
+		).At(326)
+	} else {
+		// Tiled: loop over angle blocks; within a block, a (j,k)
+		// wavefront with the block's angles processed consecutively per
+		// cell (the paper's Figure 7).
+		nblk := (cfg.Angles + cfg.Block - 1) / cfg.Block
+		diagMax := ir.Sub(ir.Add(jt, kt), ir.C(2))
+		blockBase := ir.Mul(mib, ir.C(cfg.Block))
+		sweepBody = ir.For(mib, ir.C(0), ir.C(nblk-1),
+			ir.For(idiag, ir.C(0), diagMax,
+				ir.For(kv,
+					ir.Max(ir.C(0), ir.Sub(idiag, jtEnd)),
+					ir.Min(ktEnd, idiag),
+					ir.Set(jv, ir.Sub(idiag, kv)),
+					ir.For(miv,
+						blockBase,
+						ir.Min(ir.Sub(mmi, ir.C(1)), ir.Add(blockBase, ir.C(cfg.Block-1))),
+						cellWork(miv)...,
+					).At(360),
+				).At(353),
+			).At(326),
+		).At(320)
+	}
+
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(ts, ir.C(1)),
+			ir.For(iq, ir.C(0), ir.Sub(oct, ir.C(1)),
+				sweepBody,
+			).At(131),
+		).AsTimeStep().At(100),
+	}
+	return p, nil
+}
+
+// Sweep3DVariants returns the paper's Figure 8 curve set for mesh size n:
+// original, blocking factors 1/2/3/6, and blocking 6 plus dimension
+// interchange.
+func Sweep3DVariants(n int64) []Sweep3DConfig {
+	base := DefaultSweep3D()
+	base.N = n
+	var out []Sweep3DConfig
+	for _, b := range []int64{0, 1, 2, 3, 6} {
+		c := base
+		c.Block = b
+		out = append(out, c)
+	}
+	last := base
+	last.Block = 6
+	last.DimInterchange = true
+	out = append(out, last)
+	return out
+}

@@ -1,0 +1,195 @@
+// Package workloads builds the IR programs the repository's experiments
+// analyze: the paper's Figure 1 and Figure 2 examples, IR models of the
+// Sweep3D and GTC case-study kernels with all of the paper's
+// transformation variants, and synthetic microkernels used by tests and
+// ablation benchmarks.
+package workloads
+
+import (
+	"fmt"
+
+	"reusetool/internal/ir"
+	"reusetool/internal/scope"
+	"reusetool/internal/trace"
+)
+
+// FindScope locates a scope by kind and name in a finalized program's
+// scope tree, returning trace.NoScope if absent. Loops are named by their
+// loop variable.
+func FindScope(info *ir.Info, kind scope.Kind, name string) trace.ScopeID {
+	found := trace.NoScope
+	info.Scopes.PreOrder(func(id trace.ScopeID) {
+		if found == trace.NoScope {
+			n := info.Scopes.Node(id)
+			if n.Kind == kind && n.Name == name {
+				found = id
+			}
+		}
+	})
+	return found
+}
+
+// MustFinalize finalizes a program, panicking on error. Workload builders
+// construct programs from trusted code, so errors indicate builder bugs.
+func MustFinalize(p *ir.Program) *ir.Info {
+	info, err := p.Finalize()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s: %v", p.Name, err))
+	}
+	return info
+}
+
+// Fig1 builds the paper's Figure 1 loop nest over column-major A(N,M) and
+// B(N,M): interchanged=false gives variant (a), where the inner loop walks
+// rows and spatial reuse is carried by the outer loop; interchanged=true
+// gives variant (b) with unit-stride inner traversal.
+func Fig1(interchanged bool) *ir.Program {
+	name := "fig1a"
+	if interchanged {
+		name = "fig1b"
+	}
+	p := ir.NewProgram(name)
+	n := p.Param("N", 256)
+	m := p.Param("M", 256)
+	a := p.AddArray("A", 8, n, m)
+	b := p.AddArray("B", 8, n, m)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "fig1.f", 1)
+
+	body := ir.Do(a.Read(i, j), b.Read(i, j), a.WriteRef(i, j))
+	if interchanged {
+		// DO J / DO I: inner loop walks the contiguous first dimension.
+		main.Body = []ir.Stmt{
+			ir.For(j, ir.C(0), ir.Sub(m, ir.C(1)),
+				ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)), body).At(3),
+			).At(2),
+		}
+	} else {
+		// DO I / DO J: inner loop jumps a column per iteration.
+		main.Body = []ir.Stmt{
+			ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+				ir.For(j, ir.C(0), ir.Sub(m, ir.C(1)), body).At(3),
+			).At(2),
+		}
+	}
+	return p
+}
+
+// Fig2 builds the paper's Figure 2 loop nest (cache-line fragmentation
+// example): stride-4 accesses to A and B with the A references split
+// across two reuse groups.
+func Fig2() *ir.Program {
+	p := ir.NewProgram("fig2")
+	n := p.Param("N", 400)
+	m := p.Param("M", 100)
+	a := p.AddArray("A", 8, n, m)
+	b := p.AddArray("B", 8, n, m)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "fig2.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(j, ir.C(1), ir.Sub(m, ir.C(1)),
+			ir.ForStep(i, ir.C(0), ir.Sub(n, ir.C(4)), ir.C(4),
+				ir.Do(
+					a.Read(i, ir.Sub(j, ir.C(1))),
+					b.Read(ir.Add(i, ir.C(1)), j),
+					b.Read(ir.Add(i, ir.C(3)), j),
+					a.WriteRef(ir.Add(i, ir.C(2)), j),
+				),
+				ir.Do(
+					a.Read(ir.Add(i, ir.C(1)), ir.Sub(j, ir.C(1))),
+					b.Read(i, j),
+					b.Read(ir.Add(i, ir.C(2)), j),
+					a.WriteRef(ir.Add(i, ir.C(3)), j),
+				),
+			).At(3),
+		).At(2),
+	}
+	return p
+}
+
+// Stream builds a simple streaming kernel: t passes over an array of n
+// elements. Used by tests and ablations.
+func Stream(n, passes int64) *ir.Program {
+	p := ir.NewProgram("stream")
+	np := p.Param("N", n)
+	tp := p.Param("T", passes)
+	a := p.AddArray("A", 8, np)
+	tv, i := p.Var("t"), p.Var("i")
+	main := p.AddRoutine("main", "stream.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(tp, ir.C(1)),
+			ir.For(i, ir.C(0), ir.Sub(np, ir.C(1)),
+				ir.Do(a.Read(i))).At(3),
+		).AsTimeStep().At(2),
+	}
+	return p
+}
+
+// Stencil builds a 5-point 2D Jacobi sweep: t time steps over an n x n
+// grid with in/out arrays.
+func Stencil(n, steps int64) *ir.Program {
+	p := ir.NewProgram("stencil")
+	np := p.Param("N", n)
+	tp := p.Param("T", steps)
+	in := p.AddArray("in", 8, np, np)
+	out := p.AddArray("out", 8, np, np)
+	tv, i, j := p.Var("t"), p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "stencil.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(tp, ir.C(1)),
+			ir.For(j, ir.C(1), ir.Sub(np, ir.C(2)),
+				ir.For(i, ir.C(1), ir.Sub(np, ir.C(2)),
+					ir.Do(
+						in.Read(i, j),
+						in.Read(ir.Sub(i, ir.C(1)), j),
+						in.Read(ir.Add(i, ir.C(1)), j),
+						in.Read(i, ir.Sub(j, ir.C(1))),
+						in.Read(i, ir.Add(j, ir.C(1))),
+						out.WriteRef(i, j),
+					)).At(4),
+			).At(3),
+		).AsTimeStep().At(2),
+	}
+	return p
+}
+
+// Transpose builds a naive out-of-place transpose of an n x n matrix:
+// unit-stride reads, column-stride writes.
+func Transpose(n int64) *ir.Program {
+	p := ir.NewProgram("transpose")
+	np := p.Param("N", n)
+	a := p.AddArray("A", 8, np, np)
+	b := p.AddArray("B", 8, np, np)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "transpose.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(j, ir.C(0), ir.Sub(np, ir.C(1)),
+			ir.For(i, ir.C(0), ir.Sub(np, ir.C(1)),
+				ir.Do(a.Read(i, j), b.WriteRef(j, i))).At(3),
+		).At(2),
+	}
+	return p
+}
+
+// RandomGather builds a gather through an index array: t passes of n
+// indirect reads. The index contents are supplied by the caller at init
+// time (see interp.WithInit).
+func RandomGather(n, passes int64) (*ir.Program, *ir.Array) {
+	p := ir.NewProgram("gather")
+	np := p.Param("N", n)
+	tp := p.Param("T", passes)
+	idx := p.AddDataArray("idx", 8, np)
+	a := p.AddArray("A", 8, np)
+	tv, i := p.Var("t"), p.Var("i")
+	main := p.AddRoutine("main", "gather.f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.Sub(tp, ir.C(1)),
+			ir.For(i, ir.C(0), ir.Sub(np, ir.C(1)),
+				ir.Do(
+					idx.Read(i), // the index load itself touches memory
+					a.Read(&ir.Load{Array: idx, Index: []ir.Expr{i}}),
+				)).At(3),
+		).AsTimeStep().At(2),
+	}
+	return p, idx
+}
