@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig5, table2, fig8, fig9, fig10, fig11, predict")
+		exp     = flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig5, table2, fig8, fig9, fig10, fig11, predict, static")
 		mesh    = flag.Int64("mesh", 12, "Sweep3D mesh size for fig5/table2")
 		meshes  = flag.String("meshes", "6,8,10,12,16,20", "comma-separated mesh sizes for fig8")
 		grid    = flag.Int64("grid", 2048, "GTC grid size")
@@ -65,6 +65,26 @@ func main() {
 	run("fig10", func() error { return runFig10(*grid, *micell, hier) })
 	run("fig11", func() error { return runFig11(*grid, parseInts(*micells), hier, *csvDir) })
 	run("predict", func() error { return runPredict(hier) })
+	run("static", runStatic)
+}
+
+func runStatic() error {
+	fmt.Printf("Static vs dynamic L2 miss prediction (no-execution estimator):\n")
+	rows, err := experiments.StaticValidation("L2")
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKLOAD\tREFERENCE\tDYNAMIC\tSTATIC\tERROR")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\ttotal\t%.0f\t%.0f\t%+.1f%%\n",
+			r.Workload, r.Dynamic, r.Static, r.RelErr*100)
+		for _, ref := range r.Refs {
+			fmt.Fprintf(tw, "\t%s (%s)\t%.0f\t%.0f\t%+.1f%%\n",
+				ref.Ref, ref.Array, ref.Dynamic, ref.Static, ref.RelErr*100)
+		}
+	}
+	return tw.Flush()
 }
 
 func runPredict(hier *cache.Hierarchy) error {

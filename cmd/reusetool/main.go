@@ -9,6 +9,7 @@
 //	          [-param N=16 -param micell=5 ...]
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
+//	          [-static | -static-validate]
 //
 // Workloads: fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d,
 // sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned.
@@ -16,13 +17,17 @@
 // -save/-load persist the collected reuse-distance data (collect once,
 // predict for many cache configurations). -dump-trace/-from-trace record
 // and replay the raw event stream in the tracefile text format, the seam
-// for analyzing traces produced outside this library.
+// for analyzing traces produced outside this library. -static predicts
+// the same reports symbolically from the IR without executing the
+// workload (internal/staticreuse); -static-validate prints a
+// per-reference comparison of static against dynamic misses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -77,6 +82,8 @@ func main() {
 		cctOut    = flag.Bool("cct", false, "additionally print the calling-context tree of misses at -level")
 		compareTo = flag.String("compare", "", "additionally compare against this workload's misses (e.g. sweep3d-blk6ic)")
 		dumpProg  = flag.String("dump-program", "", "write the workload as a .loop program file and exit")
+		static    = flag.Bool("static", false, "predict reports symbolically from the IR, without executing the workload")
+		staticVal = flag.Bool("static-validate", false, "run both pipelines and print a per-reference static-vs-dynamic miss comparison at -level")
 	)
 	flag.Var(params, "param", "workload parameter override, name=value (repeatable)")
 	flag.Parse()
@@ -103,6 +110,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := checkParams(prog, params); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *dumpProg != "" {
 		if err := os.WriteFile(*dumpProg, []byte(lang.Format(prog)), 0o644); err != nil {
@@ -118,9 +129,23 @@ func main() {
 		hier = cache.Itanium2()
 	}
 
+	if *staticVal {
+		if err := staticValidate(prog, init, hier, *level, params); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var res *core.Result
 	if *loadFrom != "" {
 		res, err = analyzeSaved(prog, *loadFrom, hier, params)
+	} else if *static {
+		if *saveTo != "" || *dumpTrace != "" || *cctOut {
+			fmt.Fprintln(os.Stderr, "-save, -dump-trace, and -cct require execution and cannot be combined with -static")
+			os.Exit(2)
+		}
+		res, err = core.AnalyzeStatic(prog, core.Options{Hierarchy: hier, Params: params})
 	} else {
 		opts := core.Options{
 			Hierarchy: hier,
@@ -182,7 +207,11 @@ func main() {
 		fmt.Println()
 		return
 	}
-	fmt.Printf("workload %s on %s\n\n", prog.Name, hier.Name)
+	mode := ""
+	if *static {
+		mode = " (static prediction)"
+	}
+	fmt.Printf("workload %s on %s%s\n\n", prog.Name, hier.Name, mode)
 	if err := res.WriteSummary(os.Stdout, *level, *share); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -211,6 +240,78 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// checkParams rejects -param overrides the program never reads.
+func checkParams(prog *ir.Program, params map[string]int64) error {
+	var bad []string
+	for name := range params {
+		if _, ok := prog.Defaults[name]; !ok {
+			bad = append(bad, name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	valid := make([]string, 0, len(prog.Defaults))
+	for name := range prog.Defaults {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
+	if len(valid) == 0 {
+		return fmt.Errorf("workload %s takes no parameters, but -param %s given",
+			prog.Name, strings.Join(bad, ", "))
+	}
+	return fmt.Errorf("workload %s has no parameter %s (valid parameters: %s)",
+		prog.Name, strings.Join(bad, ", "), strings.Join(valid, ", "))
+}
+
+// staticValidate runs the dynamic and the static pipeline on one workload
+// and prints a per-reference miss comparison at the selected level.
+func staticValidate(prog *ir.Program, init func(*interp.Machine) error,
+	hier *cache.Hierarchy, level string, params map[string]int64) error {
+
+	info, err := prog.Finalize()
+	if err != nil {
+		return err
+	}
+	dyn, err := core.AnalyzeInfo(info, core.Options{Hierarchy: hier, Params: params, Init: init})
+	if err != nil {
+		return err
+	}
+	st, err := core.AnalyzeStaticInfo(info, core.Options{Hierarchy: hier, Params: params})
+	if err != nil {
+		return err
+	}
+	dl, sl := dyn.Report.Level(level), st.Report.Level(level)
+	if dl == nil || sl == nil {
+		return fmt.Errorf("unknown level %q", level)
+	}
+
+	fmt.Printf("static vs dynamic %s misses, workload %s on %s\n\n", level, prog.Name, hier.Name)
+	fmt.Printf("  %-28s %12s %12s %8s\n", "reference", "dynamic", "static", "relerr")
+	for _, ref := range info.Refs {
+		name, arr, _ := info.RefLabel(ref.ID())
+		d, s := dl.MissesByRef[ref.ID()], sl.MissesByRef[ref.ID()]
+		if d == 0 && s == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s %12.0f %12.0f %8s\n", name+" ("+arr+")", d, s, relErrString(s, d))
+	}
+	fmt.Printf("  %-28s %12.0f %12.0f %8s\n", "TOTAL", dl.TotalMisses, sl.TotalMisses,
+		relErrString(sl.TotalMisses, dl.TotalMisses))
+	return nil
+}
+
+func relErrString(static, dynamic float64) string {
+	if dynamic == 0 {
+		if static == 0 {
+			return "0%"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (static-dynamic)/dynamic*100)
 }
 
 // printCCT re-runs the workload through a calling-context-tree profiler

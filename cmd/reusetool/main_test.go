@@ -35,6 +35,25 @@ func TestGTCTunedHasAllTransforms(t *testing.T) {
 	}
 }
 
+func TestCheckParamsRejectsUnknown(t *testing.T) {
+	prog, _, err := buildWorkload("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkParams(prog, map[string]int64{"N": 100}); err != nil {
+		t.Errorf("valid param rejected: %v", err)
+	}
+	err = checkParams(prog, map[string]int64{"N": 100, "BOGUS": 1})
+	if err == nil {
+		t.Fatal("unknown param accepted")
+	}
+	for _, want := range []string{"BOGUS", "M, N"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestParamList(t *testing.T) {
 	p := paramList{}
 	if err := p.Set("N=42"); err != nil {

@@ -27,6 +27,7 @@ import (
 	"reusetool/internal/reusedist"
 	"reusetool/internal/scope"
 	"reusetool/internal/staticanalysis"
+	"reusetool/internal/staticreuse"
 	"reusetool/internal/timing"
 	"reusetool/internal/trace"
 	"reusetool/internal/viewer"
@@ -171,6 +172,42 @@ func AnalyzeSaved(info *ir.Info, col *reusedist.Collector,
 		Report:    rep,
 		Static:    static,
 		Collector: col,
+	}, nil
+}
+
+// AnalyzeStatic predicts the full report symbolically from the IR — no
+// interpreter run. The reuse-distance histograms come from
+// internal/staticreuse instead of instrumented execution; everything
+// downstream (cache models, metrics, advice, viewers) is shared with the
+// dynamic pipeline. Result.Run is nil.
+func AnalyzeStatic(prog *ir.Program, opts Options) (*Result, error) {
+	info, err := prog.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return AnalyzeStaticInfo(info, opts)
+}
+
+// AnalyzeStaticInfo is AnalyzeStatic on an already finalized program.
+func AnalyzeStaticInfo(info *ir.Info, opts Options) (*Result, error) {
+	hier := opts.hierarchy()
+	est, err := staticreuse.Estimate(info, hier, staticreuse.Options{
+		Params:  opts.Params,
+		HistRes: opts.HistRes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: static: %w", err)
+	}
+	rep, err := metrics.Build(info, est.Collector, est.Static, hier, opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Report:    rep,
+		Static:    est.Static,
+		Collector: est.Collector,
 	}, nil
 }
 

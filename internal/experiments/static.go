@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"reusetool/internal/core"
+	"reusetool/internal/ir"
+	"reusetool/internal/workloads"
+)
+
+// StaticRefRow is one reference of a static-vs-dynamic validation table.
+type StaticRefRow struct {
+	Ref     string
+	Array   string
+	Dynamic float64
+	Static  float64
+	// RelErr is (Static-Dynamic)/Dynamic, or +Inf when Dynamic is zero and
+	// Static is not.
+	RelErr float64
+}
+
+// StaticRow is the validation result for one workload at one cache level:
+// static (no-execution) predicted misses against the dynamic pipeline's.
+type StaticRow struct {
+	Workload string
+	Level    string
+	Dynamic  float64
+	Static   float64
+	RelErr   float64
+	Refs     []StaticRefRow
+}
+
+func relErr(static, dynamic float64) float64 {
+	if dynamic == 0 {
+		if static == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (static - dynamic) / dynamic
+}
+
+// StaticValidation cross-checks the static reuse-distance estimator against
+// the dynamic pipeline (the ISSUE's acceptance experiment): for each small
+// workload at its cmd/reusetool default size, both pipelines predict misses
+// at the given level on the scaled Itanium 2 and the table reports total
+// and per-reference relative error.
+func StaticValidation(level string) ([]StaticRow, error) {
+	cases := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"fig1a", workloads.Fig1(false)},
+		{"fig2", workloads.Fig2()},
+		{"stream", workloads.Stream(1<<14, 4)},
+		{"stencil", workloads.Stencil(128, 4)},
+		{"transpose", workloads.Transpose(256)},
+	}
+	var rows []StaticRow
+	for _, tc := range cases {
+		info, err := tc.prog.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		dyn, err := core.AnalyzeInfo(info, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: dynamic: %w", tc.name, err)
+		}
+		st, err := core.AnalyzeStaticInfo(info, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: static: %w", tc.name, err)
+		}
+		dl, sl := dyn.Report.Level(level), st.Report.Level(level)
+		if dl == nil || sl == nil {
+			return nil, fmt.Errorf("%s: no level %q", tc.name, level)
+		}
+		row := StaticRow{
+			Workload: tc.name,
+			Level:    level,
+			Dynamic:  dl.TotalMisses,
+			Static:   sl.TotalMisses,
+			RelErr:   relErr(sl.TotalMisses, dl.TotalMisses),
+		}
+		for _, ref := range info.Refs {
+			d, s := dl.MissesByRef[ref.ID()], sl.MissesByRef[ref.ID()]
+			if d == 0 && s == 0 {
+				continue
+			}
+			name, arr, _ := info.RefLabel(ref.ID())
+			row.Refs = append(row.Refs, StaticRefRow{
+				Ref:     name,
+				Array:   arr,
+				Dynamic: d,
+				Static:  s,
+				RelErr:  relErr(s, d),
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStaticValidationL2 is the ISSUE acceptance experiment: the static
+// estimator's predicted L2 miss total must land within 25% of the dynamic
+// pipeline's on every small workload.
+func TestStaticValidationL2(t *testing.T) {
+	rows, err := StaticValidation("L2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 workloads, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dynamic == 0 {
+			t.Errorf("%s: dynamic pipeline predicted zero misses", r.Workload)
+			continue
+		}
+		t.Logf("%s: dynamic %.0f static %.0f relerr %+.1f%%",
+			r.Workload, r.Dynamic, r.Static, r.RelErr*100)
+		if math.Abs(r.RelErr) > 0.25 {
+			t.Errorf("%s: static %.0f vs dynamic %.0f, |relerr| %.3f > 0.25",
+				r.Workload, r.Static, r.Dynamic, math.Abs(r.RelErr))
+		}
+		if len(r.Refs) == 0 {
+			t.Errorf("%s: no per-reference rows", r.Workload)
+		}
+		// The dominant references must individually agree too: every ref
+		// contributing at least 10%% of dynamic misses within 30%%.
+		for _, ref := range r.Refs {
+			if ref.Dynamic < 0.1*r.Dynamic {
+				continue
+			}
+			if math.Abs(ref.RelErr) > 0.30 {
+				t.Errorf("%s %s(%s): static %.0f vs dynamic %.0f, |relerr| %.3f > 0.30",
+					r.Workload, ref.Ref, ref.Array, ref.Static, ref.Dynamic, math.Abs(ref.RelErr))
+			}
+		}
+	}
+}

@@ -107,6 +107,9 @@ type LevelReport struct {
 	FragMissesByScope []float64
 	// IrregularMisses sums misses of irregular patterns.
 	IrregularMisses float64
+	// MissesByRef is the per-reference predicted miss count (cold plus all
+	// patterns) — the unit static-vs-dynamic validation compares at.
+	MissesByRef map[trace.RefID]float64
 	// MissesByArray and FragMissesByArray aggregate by data array name —
 	// the paper's per-variable attribution.
 	MissesByArray     map[string]float64
@@ -157,6 +160,7 @@ func Build(src Source, col *reusedist.Collector, static *staticanalysis.Result,
 			FragMissesByScope: make([]float64, nScopes),
 			MissesByArray:     map[string]float64{},
 			FragMissesByArray: map[string]float64{},
+			MissesByRef:       map[trace.RefID]float64{},
 		}
 		lr.Accesses = eng.TotalAccesses()
 		for s, n := range eng.AccessesByScope() {
@@ -184,6 +188,7 @@ func Build(src Source, col *reusedist.Collector, static *staticanalysis.Result,
 				lr.MissesByScope[rd.Scope] += cold
 			}
 			lr.MissesByArray[arrName] += cold
+			lr.MissesByRef[rd.Ref] += cold
 
 			for _, p := range rd.Patterns {
 				fa := float64(p.MissAt[thIdx])
@@ -225,6 +230,7 @@ func Build(src Source, col *reusedist.Collector, static *staticanalysis.Result,
 				lr.Patterns = append(lr.Patterns, rec)
 				lr.TotalMisses += misses
 				lr.MissesByArray[arrName] += misses
+				lr.MissesByRef[rd.Ref] += misses
 				if tree.Valid(rd.Scope) {
 					lr.MissesByScope[rd.Scope] += misses
 					lr.FragMissesByScope[rd.Scope] += fragMisses

@@ -303,6 +303,10 @@ func (e *Engine) TotalAccesses() uint64 { return e.clock }
 // counts, indexed by ScopeID; scopes beyond the slice had none.
 func (e *Engine) AccessesByScope() []uint64 { return e.scopeAccesses }
 
+// SetScopeAccesses supplies per-scope block-access counts for an engine
+// restored from saved or statically estimated data.
+func (e *Engine) SetScopeAccesses(counts []uint64) { e.scopeAccesses = counts }
+
 // TotalMissAt sums exact fully-associative misses at threshold index i over
 // all references, including compulsory misses.
 func (e *Engine) TotalMissAt(i int) uint64 {

@@ -1,0 +1,113 @@
+package staticreuse
+
+import (
+	"math"
+	"sort"
+)
+
+// dim is one sweep dimension of an access pattern: a per-iteration byte
+// stride and an iteration count.
+type dim struct {
+	stride int64
+	trips  float64
+}
+
+// blocksOf estimates the number of distinct blocks of size bs touched by a
+// family of references with the given constant byte offsets, each swept by
+// the given dimensions (strides in bytes, trip counts), with elem-byte
+// accesses.
+//
+// The estimate maintains a uniform chunk approximation of the touched
+// address set — numChunks regions of chunkWidth bytes spaced pitch apart —
+// and folds dimensions in ascending stride order: a stride no larger than
+// the chunk (plus one block of slack, since sub-block holes cannot exclude
+// a block) grows chunks contiguously; a larger stride multiplies the chunk
+// count. The result is capped by the overall span and by the number of
+// distinct access positions.
+func blocksOf(consts []int64, elem int64, dims []dim, bs int64) float64 {
+	if len(consts) == 0 || bs <= 0 {
+		return 0
+	}
+	// Cluster the constant offsets: gaps of at least one block separate
+	// chunks; smaller gaps cannot leave an untouched block between members.
+	cs := append([]int64(nil), consts...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	numChunks := 1.0
+	chunkWidth := float64(elem)
+	var gaps []float64
+	start := cs[0]
+	prevEnd := cs[0] + elem
+	for _, c := range cs[1:] {
+		if c-prevEnd >= bs {
+			gaps = append(gaps, float64(c-start))
+			numChunks++
+			start = c
+		}
+		if c+elem > prevEnd {
+			prevEnd = c + elem
+		}
+		if w := float64(prevEnd - start); w > chunkWidth {
+			chunkWidth = w
+		}
+	}
+	pitch := math.Inf(1)
+	for _, g := range gaps {
+		if g < pitch {
+			pitch = g
+		}
+	}
+
+	span := float64(prevEnd-cs[0]) - float64(elem) // start-to-start extent
+	points := float64(len(cs))
+
+	ds := make([]dim, 0, len(dims))
+	for _, d := range dims {
+		if d.stride != 0 && d.trips > 1 {
+			ds = append(ds, d)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return abs64(ds[i].stride) < abs64(ds[j].stride) })
+
+	for _, d := range ds {
+		s := float64(abs64(d.stride))
+		n := d.trips
+		span += s * (n - 1)
+		points *= n
+		if s <= chunkWidth+float64(bs) {
+			// Sweeps each chunk contiguously at block granularity.
+			chunkWidth += s * (n - 1)
+			if numChunks > 1 && chunkWidth+float64(bs) >= pitch {
+				// Grown chunks now touch: merge into one region.
+				chunkWidth += pitch * (numChunks - 1)
+				numChunks = 1
+				pitch = math.Inf(1)
+			}
+		} else {
+			// Replicates the chunk grid at a coarser pitch.
+			if numChunks == 1 || s < pitch {
+				pitch = s
+			}
+			numChunks *= n
+		}
+	}
+
+	perChunk := 1 + (chunkWidth-1)/float64(bs)
+	blocks := numChunks * perChunk
+	if cap := span/float64(bs) + 1; blocks > cap {
+		blocks = cap
+	}
+	if blocks > points {
+		blocks = points
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,782 @@
+// Package staticreuse predicts per-reference reuse-distance histograms and
+// carrying loops symbolically from the IR, without running the interpreter.
+//
+// The dynamic pipeline (internal/reusedist) measures reuse distance by
+// executing every access. This package derives the same per-reference,
+// per-(source scope, carrying scope) patterns from the symbolic address
+// forms of Section III instead:
+//
+//  1. a single approximate walk of the program binds parameters and
+//     estimates loop trip counts and per-reference access totals
+//     (no array data is touched — see trips.go);
+//  2. for every reference, candidate reuse sources are the members of its
+//     related-reference group (internal/staticanalysis) shifted by small
+//     iteration-lag vectors of the enclosing loop nest; a lag k is viable
+//     when the residual byte offset between destination and shifted source
+//     is less than one block;
+//  3. viable sources are ordered by recency and assigned probability mass
+//     over the block-offset ring [0, B): a source at residual r covers the
+//     destination alignments for which both land in one block, and closer
+//     sources shadow farther ones — uncovered mass becomes cold misses;
+//  4. the reuse interval of a lag whose outermost non-zero component is m
+//     iterations of loop L converts to a distinct-block count via the
+//     footprint of m iterations of L's body, summed over the reference
+//     groups nested under L (footprint.go);
+//  5. the result is packaged as reusedist.RefData and restored into a
+//     read-only collector, so cache/metrics/advise consume static
+//     predictions exactly as they consume measured ones.
+package staticreuse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/histo"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/staticanalysis"
+	"reusetool/internal/symbolic"
+	"reusetool/internal/trace"
+)
+
+// Options configures an estimate.
+type Options struct {
+	// Params override program parameter defaults.
+	Params map[string]int64
+	// HistRes is the histogram resolution (0 = default).
+	HistRes int
+	// MaxLags caps the candidate lag vectors enumerated per reference and
+	// source (0 = default 4096).
+	MaxLags int
+}
+
+// Result is a static prediction: a read-only collector shaped exactly like
+// the dynamic one, plus the static analysis built from estimated trips.
+type Result struct {
+	Info      *ir.Info
+	Hier      *cache.Hierarchy
+	Collector *reusedist.Collector
+	Static    *staticanalysis.Result
+	Stats     *Stats
+	// Approx reports that trip estimation used fallbacks (unknown bounds,
+	// undecidable branches).
+	Approx bool
+}
+
+// Trips adapts the estimated trip counts for staticanalysis.
+func (r *Result) Trips() staticanalysis.Trips {
+	st := r.Stats
+	return func(s trace.ScopeID) float64 { return st.Trips(s, 1) }
+}
+
+// Estimate runs the static reuse-distance estimation for all granularities
+// of the hierarchy.
+func Estimate(info *ir.Info, hier *cache.Hierarchy, opts Options) (*Result, error) {
+	if hier == nil {
+		hier = cache.ScaledItanium2()
+	}
+	mach, err := interp.Layout(info, opts.Params)
+	if err != nil {
+		return nil, fmt.Errorf("staticreuse: %w", err)
+	}
+	stats := collectStats(info, mach)
+	trips := func(s trace.ScopeID) float64 { return stats.Trips(s, 1) }
+	static := staticanalysis.Analyze(info, mach, trips)
+
+	params := map[string]int64{}
+	for name := range info.Prog.Defaults {
+		params[name] = mach.Param(name)
+	}
+
+	est := &estimator{
+		info:   info,
+		mach:   mach,
+		static: static,
+		stats:  stats,
+		params: params,
+		res:    opts.HistRes,
+		maxLag: opts.MaxLags,
+	}
+	if est.res == 0 {
+		est.res = histo.DefaultResolution
+	}
+	if est.maxLag == 0 {
+		est.maxLag = 4096
+	}
+
+	grans := hier.Granularities()
+	col := &reusedist.Collector{Grans: grans}
+	for _, g := range grans {
+		refs, clock := est.granularity(g)
+		eng := reusedist.Restore(reusedist.Config{
+			BlockBits:  g.BlockBits,
+			Thresholds: g.Thresholds,
+			HistRes:    est.res,
+		}, refs, clock)
+		eng.SetScopeAccesses(est.scopeAccesses())
+		col.Engines = append(col.Engines, eng)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Collector: col,
+		Static:    static,
+		Stats:     stats,
+		Approx:    stats.Approx,
+	}, nil
+}
+
+type estimator struct {
+	info   *ir.Info
+	mach   *interp.Machine
+	static *staticanalysis.Result
+	stats  *Stats
+	params map[string]int64
+	res    int
+	maxLag int
+}
+
+// scopeAccesses estimates block accesses per innermost static scope.
+func (e *estimator) scopeAccesses() []uint64 {
+	out := make([]uint64, e.info.Scopes.Len())
+	for _, ref := range e.info.Refs {
+		s := ref.Scope()
+		if s >= 0 && int(s) < len(out) {
+			out[s] += uint64(math.Round(e.stats.RefTotal(ref.ID())))
+		}
+	}
+	return out
+}
+
+// nestLoop is one loop of a reference's effective dynamic nest with the
+// reference's per-iteration stride and the loop's estimated trip count.
+type nestLoop struct {
+	loop   *ir.Loop
+	stride int64
+	trips  int64
+	// period is the loop's iteration period in innermost-iteration units.
+	period float64
+}
+
+// effectiveNest returns the dynamic loop chain of a reference, innermost
+// first: its own enclosing loops extended by the dominant chain of its
+// routine's call site.
+func (e *estimator) effectiveNest(ref *ir.Ref) []*ir.Loop {
+	own := e.info.LoopsOf(ref.ID())
+	chain := e.stats.Chain(e.info, ref.Scope())
+	if len(chain) == 0 {
+		return own
+	}
+	out := make([]*ir.Loop, 0, len(own)+len(chain))
+	out = append(out, own...)
+	out = append(out, chain...)
+	return out
+}
+
+// concretize substitutes parameter values into a form's constant term and
+// reports whether the remainder is affine purely over the given nest
+// variables.
+func (e *estimator) concretize(f symbolic.Form, nest []*ir.Loop) (c int64, strides map[string]int64, ok bool) {
+	if f.HasIndirect() || f.HasNonAffine() {
+		return 0, nil, false
+	}
+	nestVar := map[string]bool{}
+	for _, l := range nest {
+		nestVar[l.Var.Name] = true
+	}
+	c = f.Const
+	strides = map[string]int64{}
+	for v, coeff := range f.Coeff {
+		if coeff == 0 {
+			continue
+		}
+		if nestVar[v] {
+			strides[v] = coeff
+			continue
+		}
+		if pv, isParam := e.params[v]; isParam {
+			c += coeff * pv
+			continue
+		}
+		// Coefficient on a Let-bound or otherwise unknown variable: the
+		// address is not a pure function of the nest.
+		return 0, nil, false
+	}
+	return c, strides, true
+}
+
+// match is one candidate reuse source for a destination reference.
+type match struct {
+	srcRef   trace.RefID
+	srcScope trace.ScopeID
+	carrying trace.ScopeID
+	// residual is dst.addr - src.addr in bytes for the shifted source.
+	residual int64
+	// timeAgo orders matches by recency (innermost-iteration units).
+	timeAgo float64
+	// srcOrder breaks timeAgo ties (higher = more recent).
+	srcOrder int
+	// boundary is the fraction of iterations at which the lag exists.
+	boundary float64
+	// dist is the estimated reuse distance in blocks.
+	dist uint64
+	// lags is the iteration-lag vector, outermost loop first (nil for
+	// irregular pseudo-matches).
+	lags []int64
+}
+
+// dominatedBy reports whether m's iteration box is contained in a's: every
+// destination iteration at which the lag m exists also has the (more
+// recent) lag a, so m can never be the actual predecessor there. This
+// holds when a's per-loop lag constraints are implied by m's.
+func (m *match) dominatedBy(a *match) bool {
+	if m.lags == nil || a.lags == nil || len(m.lags) != len(a.lags) {
+		return false
+	}
+	for i, ka := range a.lags {
+		km := m.lags[i]
+		if ka > 0 && km < ka {
+			return false
+		}
+		if ka < 0 && km > ka {
+			return false
+		}
+	}
+	return true
+}
+
+// granularity runs the estimation at one block size and returns synthetic
+// per-reference data plus the total block-access clock.
+func (e *estimator) granularity(g reusedist.Granularity) ([]*reusedist.RefData, uint64) {
+	bs := int64(1) << g.BlockBits
+	fpMemo := map[fpKey]float64{}
+	var refs []*reusedist.RefData
+	var clock uint64
+
+	for _, ref := range e.info.Refs {
+		total := e.stats.RefTotal(ref.ID())
+		if total < 0.5 {
+			continue
+		}
+		clock += uint64(math.Round(total))
+		rd := &reusedist.RefData{
+			Ref:      ref.ID(),
+			Scope:    ref.Scope(),
+			Patterns: map[reusedist.PatternKey]*reusedist.Pattern{},
+			Total:    uint64(math.Round(total)),
+		}
+		refs = append(refs, rd)
+
+		nest := e.effectiveNest(ref)
+		form := e.static.Form(ref.ID())
+		_, _, affine := e.concretize(form, nest)
+		var matches []match
+		if affine {
+			matches = e.enumerateMatches(ref, nest, bs, fpMemo)
+		} else {
+			matches = e.irregularMatches(ref, nest, total, bs)
+		}
+		e.assign(rd, ref, matches, e.lattice(ref, nest, bs, affine), total, bs, g.Thresholds)
+	}
+	return refs, clock
+}
+
+// enumerateMatches lists candidate sources for an affine reference: group
+// members shifted by iteration-lag vectors with sub-block residuals.
+func (e *estimator) enumerateMatches(ref *ir.Ref, nest []*ir.Loop, bs int64, fpMemo map[fpKey]float64) []match {
+	group := e.static.GroupOf(ref.ID())
+	dstC, dstStride, ok := e.concretize(e.static.Form(ref.ID()), nest)
+	if !ok || group == nil {
+		return nil
+	}
+
+	// Build the nest description outermost first for enumeration. Strides
+	// are per iteration: the address coefficient times the loop step.
+	nl := make([]nestLoop, len(nest))
+	period := 1.0
+	for i, l := range nest { // innermost first
+		t := int64(math.Round(e.stats.Trips(l.Scope(), 1)))
+		if t < 1 {
+			t = 1
+		}
+		step := int64(l.Step.(ir.Const))
+		nl[i] = nestLoop{loop: l, stride: dstStride[l.Var.Name] * step, trips: t, period: period}
+		period *= float64(t)
+	}
+	outer := make([]nestLoop, len(nl))
+	for i := range nl {
+		outer[i] = nl[len(nl)-1-i]
+	}
+	// reach[i] is the max |Σ k·s| achievable by loops strictly inside
+	// outer[i] (constant-stride components only; zero-stride loops add 0).
+	reach := make([]int64, len(outer)+1)
+	for i := len(outer) - 1; i >= 0; i-- {
+		r := reach[i+1]
+		if s := abs64(outer[i].stride); s != 0 {
+			r += s * (outer[i].trips - 1)
+		}
+		reach[i] = r
+	}
+
+	dstOrder := e.stats.Order(ref.ID())
+	var out []match
+	for gi, src := range group.Refs {
+		srcC, srcStride, ok := e.concretize(group.Forms[gi], nest)
+		if !ok || !sameStrides(dstStride, srcStride) {
+			continue
+		}
+		delta := dstC - srcC
+		srcOrder := e.stats.Order(src.ID())
+		srcScope := src.Scope()
+
+		// Recursive lag enumeration, outermost loop first.
+		lags := make([]int64, len(outer))
+		count := 0
+		var enum func(i int, partial int64)
+		enum = func(i int, partial int64) {
+			if count >= e.maxLag {
+				return
+			}
+			if i == len(outer) {
+				e.emitLag(&out, ref, src, srcScope, srcOrder, dstOrder, outer, lags, partial, bs, fpMemo)
+				count++
+				return
+			}
+			l := outer[i]
+			if l.stride == 0 {
+				// A zero-stride loop re-touches the same address every
+				// iteration: only the previous iteration matters.
+				for _, k := range [...]int64{0, 1} {
+					if k < l.trips {
+						lags[i] = k
+						enum(i+1, partial)
+					}
+				}
+				return
+			}
+			// |partial + k*s| must stay within one block after the inner
+			// loops contribute at most reach[i+1].
+			lim := bs - 1 + reach[i+1]
+			lo := ceilDiv(-lim-partial, l.stride)
+			hi := floorDiv(lim-partial, l.stride)
+			if l.stride < 0 {
+				lo, hi = ceilDiv(lim-partial, l.stride), floorDiv(-lim-partial, l.stride)
+			}
+			if lo < -(l.trips - 1) {
+				lo = -(l.trips - 1)
+			}
+			if hi > l.trips-1 {
+				hi = l.trips - 1
+			}
+			for k := lo; k <= hi; k++ {
+				lags[i] = k
+				enum(i+1, partial+k*l.stride)
+			}
+		}
+		enum(0, delta)
+	}
+	return out
+}
+
+// emitLag validates one lag vector and appends the resulting match.
+func (e *estimator) emitLag(out *[]match, dst, src *ir.Ref, srcScope trace.ScopeID,
+	srcOrder, dstOrder int, outer []nestLoop, lags []int64, residual int64,
+	bs int64, fpMemo map[fpKey]float64) {
+
+	if residual >= bs || residual <= -bs {
+		return
+	}
+	timeAgo := 0.0
+	boundary := 1.0
+	carryIdx := -1
+	for i, l := range outer {
+		k := lags[i]
+		if k == 0 {
+			continue
+		}
+		if carryIdx < 0 {
+			carryIdx = i
+		}
+		timeAgo += float64(k) * l.period
+		boundary *= float64(l.trips-abs64(k)) / float64(l.trips)
+	}
+	if boundary <= 0 {
+		return
+	}
+	if timeAgo < 0 || (timeAgo == 0 && srcOrder >= dstOrder) {
+		return
+	}
+
+	var carrying trace.ScopeID
+	var dist uint64
+	if carryIdx < 0 {
+		// Same-iteration reuse: carried by the innermost enclosing loop.
+		if len(outer) > 0 {
+			carrying = outer[len(outer)-1].loop.Scope()
+		} else {
+			carrying = dst.Scope()
+		}
+		dist = e.intraDistance(srcOrder, dstOrder)
+	} else {
+		l := outer[carryIdx]
+		carrying = l.loop.Scope()
+		m := abs64(lags[carryIdx])
+		dist = uint64(math.Round(e.footprint(l.loop, m, bs, fpMemo)))
+	}
+	*out = append(*out, match{
+		srcRef:   src.ID(),
+		srcScope: srcScope,
+		carrying: carrying,
+		residual: residual,
+		timeAgo:  timeAgo,
+		srcOrder: srcOrder,
+		boundary: boundary,
+		dist:     dist,
+		lags:     append([]int64(nil), lags...),
+	})
+}
+
+// intraDistance estimates the blocks touched between two accesses of the
+// same innermost iteration: the distinct related groups accessed strictly
+// between them in program order.
+func (e *estimator) intraDistance(srcOrder, dstOrder int) uint64 {
+	seen := map[*staticanalysis.Group]bool{}
+	for _, id := range e.stats.orderedRefs {
+		o := e.stats.Order(id)
+		if o <= srcOrder || o >= dstOrder {
+			continue
+		}
+		if g := e.static.GroupOf(id); g != nil {
+			seen[g] = true
+		}
+	}
+	return uint64(len(seen))
+}
+
+type fpKey struct {
+	scope trace.ScopeID
+	m     int64
+}
+
+// footprint estimates the distinct blocks touched by m iterations of the
+// loop's body: for every related group executing under the loop, the
+// blocks swept by its inner loops at full trips and by the carrying loop
+// at m trips.
+func (e *estimator) footprint(carry *ir.Loop, m int64, bs int64, memo map[fpKey]float64) float64 {
+	key := fpKey{scope: carry.Scope(), m: m}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	total := 0.0
+	for _, g := range e.static.Groups {
+		if len(g.Refs) == 0 {
+			continue
+		}
+		nest := e.effectiveNest(g.Refs[0])
+		pos := -1
+		for i, l := range nest {
+			if l == carry {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		var consts []int64
+		var dims []dim
+		okAll := true
+		for gi := range g.Refs {
+			c, strides, ok := e.concretize(g.Forms[gi], nest)
+			if !ok {
+				okAll = false
+				break
+			}
+			consts = append(consts, c)
+			if gi == 0 {
+				for i := 0; i < pos; i++ {
+					l := nest[i]
+					dims = append(dims, dim{
+						stride: strides[l.Var.Name] * int64(l.Step.(ir.Const)),
+						trips:  math.Max(1, e.stats.Trips(l.Scope(), 1)),
+					})
+				}
+				mm := float64(m)
+				if t := e.stats.Trips(carry.Scope(), 1); mm > t {
+					mm = t
+				}
+				dims = append(dims, dim{
+					stride: strides[carry.Var.Name] * int64(carry.Step.(ir.Const)),
+					trips:  mm,
+				})
+			}
+		}
+		if !okAll {
+			// Irregular group under this loop: accesses land uniformly over
+			// the array, so count the expected distinct blocks hit by the
+			// group's access volume across the covered iterations — which
+			// caps the contribution at both the access count and the
+			// array's extent (a single iteration touches ~1 block, not the
+			// whole array).
+			accesses := float64(len(g.Refs))
+			for i := 0; i < pos; i++ {
+				accesses *= math.Max(1, e.stats.Trips(nest[i].Scope(), 1))
+			}
+			mm := float64(m)
+			if t := e.stats.Trips(carry.Scope(), 1); mm > t {
+				mm = t
+			}
+			accesses *= mm
+			ab := e.arrayBlocks(g.Array, bs)
+			total += ab * (1 - math.Exp(-accesses/ab))
+			continue
+		}
+		total += blocksOf(consts, g.Array.Elem, dims, bs)
+	}
+	memo[key] = total
+	return total
+}
+
+// arrayBlocks reports an array's total size in blocks.
+func (e *estimator) arrayBlocks(a *ir.Array, bs int64) float64 {
+	bytes := e.mach.ArrayLen(a) * a.Elem
+	b := float64(bytes) / float64(bs)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// irregularMatches models a reference whose address is not affine over its
+// nest (indirect or data-dependent): accesses are spread uniformly over
+// the array, so a fraction of them re-touch previously seen blocks at a
+// distance of about the array's working set, carried by the loop with the
+// irregular stride (or the outermost loop).
+func (e *estimator) irregularMatches(ref *ir.Ref, nest []*ir.Loop, total float64, bs int64) []match {
+	ab := e.arrayBlocks(ref.Array, bs)
+	// Expected distinct blocks touched by `total` uniform draws.
+	distinct := ab * (1 - math.Exp(-total/ab))
+	reuseFrac := 0.0
+	if total > 0 {
+		reuseFrac = 1 - distinct/total
+	}
+	if reuseFrac <= 0 {
+		return nil
+	}
+	carrying := ref.Scope()
+	if g := e.static.GroupOf(ref.ID()); g != nil && g.IrregularLoop != nil {
+		carrying = g.IrregularLoop.Scope()
+	} else if len(nest) > 0 {
+		carrying = nest[len(nest)-1].Scope()
+	}
+	return []match{{
+		srcRef:   ref.ID(),
+		srcScope: ref.Scope(),
+		carrying: carrying,
+		residual: 0,
+		boundary: reuseFrac,
+		dist:     uint64(math.Round(distinct)),
+	}}
+}
+
+// lattice returns the block offsets a reference's accesses can land on:
+// the coset of the subgroup of [0, bs) generated by its per-iteration
+// strides. A non-affine reference is assumed uniform over element-aligned
+// offsets.
+func (e *estimator) lattice(ref *ir.Ref, nest []*ir.Loop, bs int64, affine bool) []int64 {
+	g := bs
+	var x0 int64
+	if affine {
+		c, strides, _ := e.concretize(e.static.Form(ref.ID()), nest)
+		for _, l := range nest {
+			if s := strides[l.Var.Name] * int64(l.Step.(ir.Const)); s != 0 {
+				g = gcd64(g, abs64(s))
+			}
+		}
+		x0 = ((c % g) + g) % g
+	} else if elem := ref.Array.Elem; elem < bs {
+		g = elem
+	}
+	out := make([]int64, 0, bs/g)
+	for x := x0; x < bs; x += g {
+		out = append(out, x)
+	}
+	return out
+}
+
+// assign distributes the reference's accesses over its matches with the
+// block-offset coverage model and fills the synthetic RefData. positions
+// are the block offsets the reference actually lands on, equally likely.
+func (e *estimator) assign(rd *reusedist.RefData, ref *ir.Ref, matches []match,
+	positions []int64, total float64, bs int64, thresholds []uint64) {
+
+	sort.SliceStable(matches, func(i, j int) bool {
+		if matches[i].timeAgo != matches[j].timeAgo {
+			return matches[i].timeAgo < matches[j].timeAgo
+		}
+		return matches[i].srcOrder > matches[j].srcOrder
+	})
+
+	// remaining[i] is the probability that an access at block offset
+	// positions[i] has not yet found a predecessor; applied[i] records
+	// which matches took mass there, for the domination rule.
+	remaining := make([]float64, len(positions))
+	for i := range remaining {
+		remaining[i] = 1
+	}
+	applied := make([][]int, len(positions))
+	live := float64(len(positions))
+	weight := 1 / float64(len(positions))
+
+	type patAcc struct {
+		count map[uint64]float64
+	}
+	pats := map[reusedist.PatternKey]*patAcc{}
+	elem := ref.Array.Elem
+
+	for mi := range matches {
+		if live < 1e-9 {
+			break
+		}
+		m := &matches[mi]
+		// Block offsets whose shifted source lands in the same block.
+		lo, hi := int64(0), bs
+		if m.residual > 0 {
+			lo = m.residual - (elem - 1)
+		} else if m.residual < 0 {
+			hi = bs + m.residual + (elem - 1)
+			if hi > bs {
+				hi = bs
+			}
+		}
+		var got float64
+		for i, x := range positions {
+			if x < lo || x >= hi || remaining[i] <= 0 {
+				continue
+			}
+			// m claims the iterations where its lag exists and no more
+			// recent applied lag does: inside an applied box containing
+			// m's box it can never be the predecessor (skip); an applied
+			// box contained in m's box has already claimed its own
+			// boundary fraction, so m gets only the difference.
+			take := m.boundary
+			for _, ai := range applied[i] {
+				a := &matches[ai]
+				if m.dominatedBy(a) {
+					take = 0
+					break
+				}
+				if a.dominatedBy(m) && take > m.boundary-a.boundary {
+					take = m.boundary - a.boundary
+				}
+			}
+			if take <= 0 {
+				continue
+			}
+			if take > remaining[i] {
+				take = remaining[i]
+			}
+			got += take
+			remaining[i] -= take
+			applied[i] = append(applied[i], mi)
+		}
+		live -= got
+		if got <= 0 {
+			continue
+		}
+		key := reusedist.PatternKey{Source: m.srcScope, Carrying: m.carrying}
+		p := pats[key]
+		if p == nil {
+			p = &patAcc{count: map[uint64]float64{}}
+			pats[key] = p
+		}
+		p.count[m.dist] += got * weight
+	}
+
+	rd.Cold = uint64(math.Round(live * weight * total))
+	var covered uint64
+	keys := make([]reusedist.PatternKey, 0, len(pats))
+	for k := range pats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Source != keys[j].Source {
+			return keys[i].Source < keys[j].Source
+		}
+		return keys[i].Carrying < keys[j].Carrying
+	})
+	for _, k := range keys {
+		acc := pats[k]
+		p := &reusedist.Pattern{
+			Key:    k,
+			Hist:   histo.NewRes(e.res),
+			MissAt: make([]uint64, len(thresholds)),
+		}
+		dists := make([]uint64, 0, len(acc.count))
+		for d := range acc.count {
+			dists = append(dists, d)
+		}
+		sort.Slice(dists, func(i, j int) bool { return dists[i] < dists[j] })
+		for _, d := range dists {
+			n := uint64(math.Round(acc.count[d] * total))
+			if n == 0 {
+				continue
+			}
+			p.Hist.AddN(d, n)
+			p.Count += n
+			for ti, th := range thresholds {
+				if d >= th {
+					p.MissAt[ti] += n
+				}
+			}
+		}
+		if p.Count > 0 {
+			rd.Patterns[k] = p
+			covered += p.Count
+		}
+	}
+	// Keep Total consistent with Cold + arcs after rounding.
+	if rd.Cold+covered > rd.Total {
+		rd.Total = rd.Cold + covered
+	}
+}
+
+func sameStrides(a, b map[string]int64) bool {
+	for v, s := range a {
+		if s != 0 && b[v] != s {
+			return false
+		}
+	}
+	for v, s := range b {
+		if s != 0 && a[v] != s {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,57 @@
+package staticreuse_test
+
+import (
+	"math"
+	"testing"
+
+	"reusetool/internal/core"
+	"reusetool/internal/ir"
+	"reusetool/internal/workloads"
+)
+
+// compareL2 runs both pipelines on a program and reports (static, dynamic)
+// predicted L2 miss totals.
+func compareL2(t *testing.T, prog *ir.Program) (float64, float64) {
+	t.Helper()
+	dyn, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatalf("dynamic analyze: %v", err)
+	}
+	st, err := core.AnalyzeStatic(prog, core.Options{})
+	if err != nil {
+		t.Fatalf("static analyze: %v", err)
+	}
+	dl := dyn.Report.Level("L2")
+	sl := st.Report.Level("L2")
+	if dl == nil || sl == nil {
+		t.Fatal("missing L2 level report")
+	}
+	return sl.TotalMisses, dl.TotalMisses
+}
+
+func TestStaticMatchesDynamicL2(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"fig1a", workloads.Fig1(false)},
+		{"fig2", workloads.Fig2()},
+		{"stream", workloads.Stream(1<<14, 4)},
+		{"stencil", workloads.Stencil(128, 4)},
+		{"transpose", workloads.Transpose(256)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			static, dynamic := compareL2(t, tc.prog)
+			if dynamic == 0 {
+				t.Fatalf("dynamic predicted zero L2 misses")
+			}
+			rel := math.Abs(static-dynamic) / dynamic
+			t.Logf("%s: static %.0f dynamic %.0f relerr %.3f", tc.name, static, dynamic, rel)
+			if rel > 0.25 {
+				t.Errorf("static %.0f vs dynamic %.0f: relative error %.3f > 0.25",
+					static, dynamic, rel)
+			}
+		})
+	}
+}
