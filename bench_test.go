@@ -235,7 +235,9 @@ func BenchmarkAblation_OSTree(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := core.Analyze(prog, core.Options{UseFenwick: fenwick}); err != nil {
+				p := core.Pipeline{Source: core.DynamicSource{Prog: prog},
+					Options: core.Options{UseFenwick: fenwick}}
+				if _, err := p.Run(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -249,7 +251,8 @@ func BenchmarkAblation_HistogramResolution(b *testing.B) {
 	for _, res := range []int{2, 8, 64} {
 		b.Run(map[int]string{2: "res2", 8: "res8", 64: "res64"}[res], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := core.Analyze(workloads.Stencil(96, 2), core.Options{HistRes: res})
+				r, err := core.Pipeline{Source: core.DynamicSource{Prog: workloads.Stencil(96, 2)},
+					Options: core.Options{HistRes: res}}.Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -272,7 +275,7 @@ func BenchmarkAblation_PatternGranularity(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.Analyze(prog, core.Options{})
+		res, err := core.Pipeline{Source: core.DynamicSource{Prog: prog}}.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -310,7 +313,8 @@ func BenchmarkAblation_PredictionModel(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := core.Analyze(workloads.Stencil(96, 2), core.Options{Model: m, Simulate: true})
+				r, err := core.Pipeline{Source: core.DynamicSource{Prog: workloads.Stencil(96, 2)},
+					Options: core.Options{Model: m, Simulate: true}}.Run()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -333,10 +337,59 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.Analyze(prog, core.Options{Init: init})
+		res, err := core.Pipeline{Source: core.DynamicSource{Prog: prog, Init: init}}.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Run.Accesses), "accesses")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Parallel fan-out (internal/pipeline).
+// ---------------------------------------------------------------------
+
+// fanoutHier is a three-granularity hierarchy (64-byte L1, 128-byte
+// L2/L3, 4KB TLB): in parallel mode the collector splits into three
+// reuse-distance engines plus the simulator, each on its own goroutine.
+func fanoutHier() *cache.Hierarchy {
+	return &cache.Hierarchy{
+		Name: "fanout3g",
+		Levels: []cache.Level{
+			{Name: "L1", LineBits: 6, Sets: 64, Assoc: 4, Latency: 2},
+			{Name: "L2", LineBits: 7, Sets: 16, Assoc: 8, Latency: 8},
+			{Name: "L3", LineBits: 7, Sets: 128, Assoc: 6, Latency: 120},
+			{Name: "TLB", LineBits: 12, Sets: 1, Assoc: 32, Latency: 30},
+		},
+		BaseCPI:  1.0,
+		PageBits: 12,
+	}
+}
+
+// benchFanout drives the full analysis (three engines + simulator) over
+// a ~1M-access streaming workload, sequentially or through the
+// goroutine fan-out. CI runs both with -bench=Fanout -benchtime=1x as a
+// smoke test; BENCH_fanout.json records a measured baseline.
+func benchFanout(b *testing.B, parallel bool) {
+	info, err := workloads.Stream(1<<18, 4).Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hier := fanoutHier()
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Pipeline{
+			Source:  core.DynamicSource{Info: info},
+			Options: core.Options{Hierarchy: hier, Simulate: true, Parallel: parallel},
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = res.Run.Accesses
+	}
+	b.ReportMetric(float64(accesses), "accesses")
+}
+
+func BenchmarkFanoutSequential(b *testing.B) { benchFanout(b, false) }
+func BenchmarkFanoutParallel(b *testing.B)   { benchFanout(b, true) }

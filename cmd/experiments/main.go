@@ -4,11 +4,13 @@
 //
 //	experiments [-exp all|fig1|fig2|fig5|table2|fig8|fig9|fig10|fig11]
 //	            [-mesh N] [-meshes 8,12,16,...] [-grid G] [-micell M]
-//	            [-micells 2,5,10,...] [-full]
+//	            [-micells 2,5,10,...] [-full] [-jobs N]
 //
 // Results print as aligned text tables with the paper's normalization
 // (per cell / per particle / per time step). -full selects the unscaled
-// Itanium2 hierarchy (much slower; pair it with larger sizes).
+// Itanium2 hierarchy (much slower; pair it with larger sizes). -jobs
+// caps how many sweep points (Figure 8/11 workload configurations) are
+// evaluated concurrently; 0, the default, uses one worker per CPU.
 package main
 
 import (
@@ -36,8 +38,10 @@ func main() {
 		micells = flag.String("micells", "2,5,10,15,20", "comma-separated particle counts for fig11")
 		full    = flag.Bool("full", false, "use the full-size Itanium2 hierarchy instead of the scaled one")
 		csvDir  = flag.String("csv", "", "also write fig8.csv and fig11.csv curve data into this directory")
+		jobs    = flag.Int("jobs", 0, "max sweep points evaluated concurrently (0 = one per CPU)")
 	)
 	flag.Parse()
+	experiments.SetJobs(*jobs)
 
 	hier := cache.ScaledItanium2()
 	if *full {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reusetool -workload sweep3d [-level L2] [-xml] [-full]
-//	          [-param N=16 -param micell=5 ...]
+//	          [-param N=16 -param micell=5 ...] [-parallel=false]
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
 //	          [-static | -static-validate]
@@ -14,18 +14,25 @@
 // Workloads: fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d,
 // sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned.
 //
-// -save/-load persist the collected reuse-distance data (collect once,
-// predict for many cache configurations). -dump-trace/-from-trace record
-// and replay the raw event stream in the tracefile text format, the seam
-// for analyzing traces produced outside this library. -static predicts
-// the same reports symbolically from the IR without executing the
-// workload (internal/staticreuse); -static-validate prints a
-// per-reference comparison of static against dynamic misses.
+// The flags select one of five analysis modes, resolved by a single
+// mode table (see resolveMode): dynamic execution (the default),
+// -static symbolic prediction, -load of saved reuse-distance data,
+// -from-trace replay of a recorded event stream, and -static-validate
+// which runs the dynamic and static pipelines side by side. Flags that
+// require executing the workload (-save, -dump-trace, -cct) conflict
+// with modes that do not execute it; conflicts are reported in one
+// consistent error listing the offending flags.
+//
+// -parallel (default on) fans the event stream out to the analysis
+// consumers on dedicated goroutines (one per reuse-distance granularity,
+// plus the simulator and trace recorder); results are bit-identical to
+// -parallel=false, which keeps the sequential reference path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -37,14 +44,11 @@ import (
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
-	"reusetool/internal/metrics"
 	"reusetool/internal/persist"
-	"reusetool/internal/reusedist"
 	"reusetool/internal/trace"
 	"reusetool/internal/tracefile"
 	"reusetool/internal/viewer"
 	"reusetool/internal/workloads"
-	"reusetool/internal/xmlout"
 )
 
 type paramList map[string]int64
@@ -64,6 +68,86 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
+// Analysis modes. Each corresponds to one core.Source implementation
+// (modeValidate runs two pipelines; modeDumpProgram runs none).
+const (
+	modeDynamic     = "dynamic"
+	modeStatic      = "static"
+	modeSaved       = "saved"
+	modeTrace       = "trace"
+	modeValidate    = "static-validate"
+	modeDumpProgram = "dump-program"
+)
+
+// modeTable maps flag combinations to an analysis mode. selector is the
+// flag that picks the mode (unset for the default dynamic mode);
+// rejects lists the flags the mode cannot be combined with, each with
+// the reason rendered in the error. Selector flags are mutually
+// exclusive with each other by construction.
+var modeTable = []struct {
+	selector string
+	mode     string
+	rejects  []string
+	reason   string
+}{
+	{selector: "", mode: modeDynamic},
+	{
+		selector: "static", mode: modeStatic,
+		rejects: []string{"save", "dump-trace", "cct"},
+		reason:  "they require executing the workload",
+	},
+	{
+		selector: "static-validate", mode: modeValidate,
+		rejects: []string{"save", "dump-trace", "cct", "xml", "compare"},
+		reason:  "the validation table is the only output of this mode",
+	},
+	{
+		selector: "load", mode: modeSaved,
+		rejects: []string{"save", "dump-trace", "cct"},
+		reason:  "they require executing the workload, which -load skips",
+	},
+	{
+		selector: "from-trace", mode: modeTrace,
+		rejects: []string{"workload", "program", "param", "save", "dump-trace", "cct", "compare"},
+		reason:  "the trace file replaces the workload",
+	},
+	{
+		selector: "dump-program", mode: modeDumpProgram,
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		reason:  "no analysis runs in this mode",
+	},
+}
+
+// resolveMode maps the set of explicitly passed flags to one analysis
+// mode. All conflicts are reported at once: either several mode
+// selectors were combined, or the selected mode rejects some of the
+// given flags.
+func resolveMode(set map[string]bool) (string, error) {
+	var selected []string
+	entry := modeTable[0] // dynamic default
+	for _, e := range modeTable[1:] {
+		if set[e.selector] {
+			selected = append(selected, "-"+e.selector)
+			entry = e
+		}
+	}
+	if len(selected) > 1 {
+		return "", fmt.Errorf("conflicting flags: %s each select an analysis mode; choose one",
+			strings.Join(selected, ", "))
+	}
+	var bad []string
+	for _, f := range entry.rejects {
+		if set[f] {
+			bad = append(bad, "-"+f)
+		}
+	}
+	if len(bad) > 0 {
+		return "", fmt.Errorf("conflicting flags: -%s cannot be combined with %s (%s)",
+			entry.selector, strings.Join(bad, ", "), entry.reason)
+	}
+	return entry.mode, nil
+}
+
 func main() {
 	params := paramList{}
 	var (
@@ -73,6 +157,7 @@ func main() {
 		xmlOut   = flag.Bool("xml", false, "emit the XML database instead of text reports")
 		full     = flag.Bool("full", false, "use the full-size Itanium2 hierarchy")
 		share    = flag.Float64("minshare", 0.02, "minimum miss share for reported items")
+		parallel = flag.Bool("parallel", true, "fan the event stream out to analysis consumers on dedicated goroutines (bit-identical to the sequential path)")
 	)
 	var (
 		saveTo    = flag.String("save", "", "save collected reuse-distance data to this file")
@@ -87,9 +172,25 @@ func main() {
 	)
 	flag.Var(params, "param", "workload parameter override, name=value (repeatable)")
 	flag.Parse()
+	_ = *static
+	_ = *staticVal
 
-	if *fromTrace != "" {
-		if err := analyzeTraceFile(*fromTrace, *level, *share, *full, *xmlOut); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	mode, err := resolveMode(set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	hier := cache.ScaledItanium2()
+	if *full {
+		hier = cache.Itanium2()
+	}
+	opts := core.Options{Hierarchy: hier, Params: params, Parallel: *parallel}
+
+	if mode == modeTrace {
+		if err := analyzeTraceFile(*fromTrace, *level, *share, *xmlOut, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -99,7 +200,6 @@ func main() {
 	var (
 		prog *ir.Program
 		init func(*interp.Machine) error
-		err  error
 	)
 	if *progFile != "" {
 		prog, init, err = loadProgramFile(*progFile)
@@ -114,8 +214,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	opts.Init = init
 
-	if *dumpProg != "" {
+	if mode == modeDumpProgram {
 		if err := os.WriteFile(*dumpProg, []byte(lang.Format(prog)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -124,13 +225,8 @@ func main() {
 		return
 	}
 
-	hier := cache.ScaledItanium2()
-	if *full {
-		hier = cache.Itanium2()
-	}
-
-	if *staticVal {
-		if err := staticValidate(prog, init, hier, *level, params); err != nil {
+	if mode == modeValidate {
+		if err := staticValidate(prog, *level, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -138,50 +234,32 @@ func main() {
 	}
 
 	var res *core.Result
-	if *loadFrom != "" {
-		res, err = analyzeSaved(prog, *loadFrom, hier, params)
-	} else if *static {
-		if *saveTo != "" || *dumpTrace != "" || *cctOut {
-			fmt.Fprintln(os.Stderr, "-save, -dump-trace, and -cct require execution and cannot be combined with -static")
-			os.Exit(2)
-		}
-		res, err = core.AnalyzeStatic(prog, core.Options{Hierarchy: hier, Params: params})
-	} else {
-		opts := core.Options{
-			Hierarchy: hier,
-			Params:    params,
-			Init:      init,
-		}
-		var traceOut *os.File
-		var traceW *tracefile.Writer
+	switch mode {
+	case modeSaved:
+		res, err = analyzeSaved(prog, *loadFrom, opts)
+	case modeStatic:
+		res, err = core.Pipeline{Source: core.StaticSource{Prog: prog}, Options: opts}.Run()
+	case modeDynamic:
+		src := core.DynamicSource{Prog: prog}
+		finish := func(err error) error { return err }
 		if *dumpTrace != "" {
-			info, ferr := prog.Finalize()
-			if ferr != nil {
-				fmt.Fprintln(os.Stderr, ferr)
-				os.Exit(1)
-			}
-			traceOut, err = os.Create(*dumpTrace)
+			// The trace writer needs the finalized info up front; reuse it
+			// for the run.
+			var info *ir.Info
+			info, err = prog.Finalize()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				break
 			}
-			traceW, err = tracefile.NewWriter(traceOut, info, len(info.Refs))
+			var w *tracefile.Writer
+			w, finish, err = traceRecorder(*dumpTrace, info)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				break
 			}
-			opts.Tee = traceW
-			res, err = core.AnalyzeInfo(info, opts)
-		} else {
-			res, err = core.Analyze(prog, opts)
+			opts.Tee = w
+			src = core.DynamicSource{Info: info}
 		}
-		if traceW != nil {
-			if ferr := traceW.Flush(); ferr != nil && err == nil {
-				err = ferr
-			}
-			traceOut.Close()
-			fmt.Fprintf(os.Stderr, "trace written to %s\n", *dumpTrace)
-		}
+		res, err = core.Pipeline{Source: src, Options: opts}.Run()
+		err = finish(err)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -189,14 +267,11 @@ func main() {
 	}
 
 	if *saveTo != "" {
-		if *loadFrom != "" {
-			fmt.Fprintln(os.Stderr, "-save with -load is a no-op; data is already on disk")
-		} else if err := saveDataset(res, prog.Name, *saveTo); err != nil {
+		if err := saveDataset(res, prog.Name, *saveTo); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		} else {
-			fmt.Fprintf(os.Stderr, "saved reuse-distance data to %s\n", *saveTo)
 		}
+		fmt.Fprintf(os.Stderr, "saved reuse-distance data to %s\n", *saveTo)
 	}
 
 	if *xmlOut {
@@ -207,11 +282,11 @@ func main() {
 		fmt.Println()
 		return
 	}
-	mode := ""
-	if *static {
-		mode = " (static prediction)"
+	desc := ""
+	if mode == modeStatic {
+		desc = " (static prediction)"
 	}
-	fmt.Printf("workload %s on %s%s\n\n", prog.Name, hier.Name, mode)
+	fmt.Printf("workload %s on %s%s\n\n", prog.Name, hier.Name, desc)
 	if err := res.WriteSummary(os.Stdout, *level, *share); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -230,7 +305,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		otherRes, err := core.Analyze(other, core.Options{Hierarchy: hier, Params: params, Init: otherInit})
+		otherRes, err := core.Pipeline{
+			Source:  core.DynamicSource{Prog: other, Init: otherInit},
+			Options: core.Options{Hierarchy: hier, Params: params, Parallel: *parallel},
+		}.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -240,6 +318,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// traceRecorder opens the -dump-trace tee. finish flushes and closes it,
+// folding any write error into the run error.
+func traceRecorder(path string, info *ir.Info) (*tracefile.Writer, func(error) error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := tracefile.NewWriter(f, info, len(info.Refs))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	finish := func(runErr error) error {
+		if ferr := w.Flush(); ferr != nil && runErr == nil {
+			runErr = ferr
+		}
+		if cerr := f.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+		if runErr == nil {
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+		}
+		return runErr
+	}
+	return w, finish, nil
 }
 
 // checkParams rejects -param overrides the program never reads.
@@ -269,18 +374,17 @@ func checkParams(prog *ir.Program, params map[string]int64) error {
 
 // staticValidate runs the dynamic and the static pipeline on one workload
 // and prints a per-reference miss comparison at the selected level.
-func staticValidate(prog *ir.Program, init func(*interp.Machine) error,
-	hier *cache.Hierarchy, level string, params map[string]int64) error {
-
+func staticValidate(prog *ir.Program, level string, opts core.Options) error {
 	info, err := prog.Finalize()
 	if err != nil {
 		return err
 	}
-	dyn, err := core.AnalyzeInfo(info, core.Options{Hierarchy: hier, Params: params, Init: init})
+	dyn, err := core.Pipeline{Source: core.DynamicSource{Info: info}, Options: opts}.Run()
 	if err != nil {
 		return err
 	}
-	st, err := core.AnalyzeStaticInfo(info, core.Options{Hierarchy: hier, Params: params})
+	opts.Init = nil
+	st, err := core.Pipeline{Source: core.StaticSource{Info: info}, Options: opts}.Run()
 	if err != nil {
 		return err
 	}
@@ -289,7 +393,7 @@ func staticValidate(prog *ir.Program, init func(*interp.Machine) error,
 		return fmt.Errorf("unknown level %q", level)
 	}
 
-	fmt.Printf("static vs dynamic %s misses, workload %s on %s\n\n", level, prog.Name, hier.Name)
+	fmt.Printf("static vs dynamic %s misses, workload %s on %s\n\n", level, prog.Name, opts.Hierarchy.Name)
 	fmt.Printf("  %-28s %12s %12s %8s\n", "reference", "dynamic", "static", "relerr")
 	for _, ref := range info.Refs {
 		name, arr, _ := info.RefLabel(ref.ID())
@@ -367,7 +471,7 @@ func saveDataset(res *core.Result, program, path string) error {
 
 // analyzeSaved rebuilds the report from a saved dataset (collect once,
 // predict many).
-func analyzeSaved(prog *ir.Program, path string, hier *cache.Hierarchy, params map[string]int64) (*core.Result, error) {
+func analyzeSaved(prog *ir.Program, path string, opts core.Options) (*core.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -377,48 +481,34 @@ func analyzeSaved(prog *ir.Program, path string, hier *cache.Hierarchy, params m
 	if err != nil {
 		return nil, err
 	}
-	info, err := prog.Finalize()
-	if err != nil {
-		return nil, err
-	}
-	return core.AnalyzeSaved(info, d.Collector(), d.TripsFunc(1), core.Options{
-		Hierarchy: hier,
-		Params:    params,
-	})
+	return core.Pipeline{
+		Source:  core.SavedSource{Prog: prog, Collector: d.Collector(), Trips: d.TripsFunc(1)},
+		Options: opts,
+	}.Run()
 }
 
 // analyzeTraceFile analyzes a recorded trace: the reuse-distance engines
 // replay the events and a report is built against the recovered scope
 // tree (no static fragmentation analysis — there is no IR to analyze).
-func analyzeTraceFile(path, level string, share float64, full, xmlOut bool) error {
+func analyzeTraceFile(path, level string, share float64, xmlOut bool, opts core.Options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	hier := cache.ScaledItanium2()
-	if full {
-		hier = cache.Itanium2()
-	}
-	col := reusedist.NewCollector(hier.Granularities(), 0, false)
-	meta, err := tracefile.Read(f, col)
-	if err != nil {
-		return err
-	}
-	rep, err := metrics.Build(meta, col, nil, hier, metrics.SetAssoc)
+	res, err := core.Pipeline{Source: core.TraceSource{R: f}, Options: opts}.Run()
 	if err != nil {
 		return err
 	}
 	if xmlOut {
-		data, err := xmlout.Marshal(rep)
-		if err != nil {
+		if err := res.WriteXML(os.Stdout); err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(append(data, '\n'))
+		_, err := io.WriteString(os.Stdout, "\n")
 		return err
 	}
-	fmt.Printf("trace %s on %s\n\n", meta.Program, hier.Name)
-	return viewer.Summary(os.Stdout, rep, level, share)
+	fmt.Printf("trace %s on %s\n\n", res.Report.Source.Name(), opts.Hierarchy.Name)
+	return res.WriteSummary(os.Stdout, level, share)
 }
 
 // loadProgramFile parses a .loop program (see internal/lang).

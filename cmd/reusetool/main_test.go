@@ -54,6 +54,72 @@ func TestCheckParamsRejectsUnknown(t *testing.T) {
 	}
 }
 
+func TestResolveMode(t *testing.T) {
+	set := func(flags ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, f := range flags {
+			m[f] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		set     map[string]bool
+		want    string
+		wantErr []string // substrings the error must mention
+	}{
+		{name: "default", set: set(), want: modeDynamic},
+		{name: "dynamic extras", set: set("workload", "level", "xml", "save", "dump-trace", "cct", "compare", "parallel"), want: modeDynamic},
+		{name: "static", set: set("static"), want: modeStatic},
+		{name: "static xml ok", set: set("static", "xml"), want: modeStatic},
+		{name: "load", set: set("load"), want: modeSaved},
+		{name: "trace", set: set("from-trace", "level", "xml"), want: modeTrace},
+		{name: "validate", set: set("static-validate", "level"), want: modeValidate},
+		{name: "dump program", set: set("dump-program", "workload"), want: modeDumpProgram},
+
+		{name: "two selectors", set: set("static", "load"),
+			wantErr: []string{"-static", "-load", "choose one"}},
+		{name: "three selectors", set: set("static", "load", "from-trace"),
+			wantErr: []string{"-static", "-load", "-from-trace"}},
+		{name: "static save", set: set("static", "save"),
+			wantErr: []string{"-static", "-save"}},
+		{name: "static all exec flags", set: set("static", "save", "dump-trace", "cct"),
+			wantErr: []string{"-save", "-dump-trace", "-cct"}},
+		{name: "load save", set: set("load", "save"),
+			wantErr: []string{"-load", "-save"}},
+		{name: "trace workload", set: set("from-trace", "workload"),
+			wantErr: []string{"-from-trace", "-workload"}},
+		{name: "trace program param", set: set("from-trace", "program", "param"),
+			wantErr: []string{"-program", "-param"}},
+		{name: "validate xml", set: set("static-validate", "xml"),
+			wantErr: []string{"-static-validate", "-xml"}},
+		{name: "dump program xml", set: set("dump-program", "xml"),
+			wantErr: []string{"-dump-program", "-xml"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mode, err := resolveMode(tc.set)
+			if len(tc.wantErr) > 0 {
+				if err == nil {
+					t.Fatalf("got mode %q, want error", mode)
+				}
+				for _, want := range tc.wantErr {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("error %q does not mention %q", err, want)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode != tc.want {
+				t.Errorf("mode = %q, want %q", mode, tc.want)
+			}
+		})
+	}
+}
+
 func TestParamList(t *testing.T) {
 	p := paramList{}
 	if err := p.Set("N=42"); err != nil {

@@ -30,7 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("analyzing %s: grid %d, %d particles/cell ...\n\n", prog.Name, cfg.Grid, cfg.Micell)
-	res, err := core.Analyze(prog, core.Options{Init: init})
+	res, err := core.Pipeline{Source: core.DynamicSource{Prog: prog, Init: init}}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,14 +58,17 @@ func main() {
 	// Figure 11: apply the transformations cumulatively.
 	fmt.Println("=== Cumulative transformations (simulated) ===")
 	fmt.Printf("%-22s %10s %10s %10s %12s\n", "VARIANT", "L2", "L3", "TLB", "CYCLES")
-	var first, last *core.SimResult
+	var first, last *core.Result
 	var firstScale, lastScale float64
 	for _, v := range workloads.GTCVariants(cfg) {
 		p, vinit, err := workloads.GTC(v.Config)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sr, err := core.Simulate(p, core.Options{Init: vinit})
+		sr, err := core.Pipeline{
+			Source:  core.DynamicSource{Prog: p, Init: vinit},
+			Options: core.Options{SimulateOnly: true},
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,7 +18,7 @@ func main() {
 	// Figure 1(a): DO I / DO J over column-major arrays — the inner loop
 	// walks rows, so spatial reuse of each cache line is carried by the
 	// OUTER loop and the lines are evicted before they are reused.
-	bad, err := core.Analyze(workloads.Fig1(false), core.Options{})
+	bad, err := core.Pipeline{Source: core.DynamicSource{Prog: workloads.Fig1(false)}}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func main() {
 	}
 
 	// Apply the advice: Figure 1(b) interchanges the loops.
-	good, err := core.Analyze(workloads.Fig1(true), core.Options{})
+	good, err := core.Pipeline{Source: core.DynamicSource{Prog: workloads.Fig1(true)}}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -57,7 +57,10 @@ func main() {
 // collect runs the stencil at size n and merges all per-pattern
 // histograms at the cache-line granularity into one.
 func collect(n int64, hier *cache.Hierarchy) (*histo.Histogram, uint64) {
-	res, err := core.Analyze(workloads.Stencil(n, 2), core.Options{Hierarchy: hier})
+	res, err := core.Pipeline{
+		Source:  core.DynamicSource{Prog: workloads.Stencil(n, 2)},
+		Options: core.Options{Hierarchy: hier},
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("analyzing %s at mesh %d^3 ...\n\n", prog.Name, cfg.N)
-	res, err := core.Analyze(prog, core.Options{})
+	res, err := core.Pipeline{Source: core.DynamicSource{Prog: prog}}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,11 +68,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, err := core.Simulate(prog2, core.Options{})
+	before, err := core.Pipeline{
+		Source:  core.DynamicSource{Prog: prog2},
+		Options: core.Options{SimulateOnly: true},
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := core.Simulate(tunedProg, core.Options{})
+	after, err := core.Pipeline{
+		Source:  core.DynamicSource{Prog: tunedProg},
+		Options: core.Options{SimulateOnly: true},
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,21 +1,23 @@
 // Package core is the top-level façade of the reuse-distance analysis
 // toolkit: it wires the workload interpreter, the online reuse-distance
 // engines, the static fragmentation analysis, the cache models, and the
-// metric/advice computation into two entry points:
+// metric/advice computation behind one entry point:
 //
-//   - Analyze runs the full paper pipeline (Sections II-IV): instrumented
-//     execution collecting per-pattern reuse-distance histograms, static
-//     spatial analysis, miss prediction, per-scope attribution, and
-//     Table I recommendations.
+//	res, err := core.Pipeline{Source: core.DynamicSource{Prog: prog}}.Run()
 //
-//   - Simulate runs only the execution-driven cache simulator — the
-//     stand-in for the paper's hardware-counter measurements — which is an
-//     order of magnitude faster and is what the Figure 8/11 parameter
-//     sweeps use.
+// The Source selects where reuse data comes from — instrumented
+// execution (DynamicSource), symbolic prediction from the IR
+// (StaticSource), previously persisted histograms (SavedSource), or a
+// recorded event trace (TraceSource) — and Options selects the target
+// machine, the miss model, and whether the event stream fans out to the
+// consumers in parallel (see internal/pipeline).
+//
+// The earlier per-mode entry points (Analyze, AnalyzeInfo, AnalyzeSaved,
+// AnalyzeStatic, AnalyzeStaticInfo, Simulate) remain as thin deprecated
+// wrappers over Pipeline so existing callers keep working.
 package core
 
 import (
-	"fmt"
 	"io"
 
 	"reusetool/internal/advise"
@@ -25,9 +27,7 @@ import (
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
 	"reusetool/internal/reusedist"
-	"reusetool/internal/scope"
 	"reusetool/internal/staticanalysis"
-	"reusetool/internal/staticreuse"
 	"reusetool/internal/timing"
 	"reusetool/internal/trace"
 	"reusetool/internal/viewer"
@@ -52,6 +52,18 @@ type Options struct {
 	// Simulate additionally runs the execution-driven cache simulator on
 	// the same trace (for prediction-vs-simulation comparisons).
 	Simulate bool
+	// SimulateOnly runs only the cache simulator: reuse-distance
+	// collection, the static analysis and the report are skipped
+	// (Result.Report, .Static and .Collector are nil). This is the
+	// order-of-magnitude-faster path the Figure 8/11 parameter sweeps
+	// use.
+	SimulateOnly bool
+	// Parallel fans the event stream out to the consumers — each
+	// per-granularity reuse-distance engine, the simulator, the Tee — on
+	// dedicated goroutines with bounded ring buffers instead of invoking
+	// them inline (see internal/pipeline). Results are bit-identical to
+	// the sequential path; only wall-clock time changes.
+	Parallel bool
 	// TrackContext collects reuse patterns separately per calling context
 	// (routine call path) — the paper's Section IV extension. Off by
 	// default, as in the paper, to bound overhead.
@@ -68,7 +80,11 @@ func (o *Options) hierarchy() *cache.Hierarchy {
 	return cache.ScaledItanium2()
 }
 
-// Result bundles everything one analysis produces.
+// Result bundles everything one analysis produces. Fields are nil when
+// the source or options exclude them: Info is nil for TraceSource (the
+// recovered program structure is Report.Source); Report, Static and
+// Collector are nil with Options.SimulateOnly; Sim is nil unless
+// simulation ran; Run is nil unless a program executed.
 type Result struct {
 	Info      *ir.Info
 	Hier      *cache.Hierarchy
@@ -76,139 +92,45 @@ type Result struct {
 	Static    *staticanalysis.Result
 	Collector *reusedist.Collector
 	Run       *interp.Result
-	// Sim is non-nil when Options.Simulate was set.
-	Sim *cachesim.Sim
+	Sim       *cachesim.Sim
 }
 
 // Analyze runs the full pipeline on a program.
+//
+// Deprecated: use Pipeline{Source: DynamicSource{Prog: prog}, Options: opts}.Run().
 func Analyze(prog *ir.Program, opts Options) (*Result, error) {
-	info, err := prog.Finalize()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return AnalyzeInfo(info, opts)
+	return Pipeline{Source: DynamicSource{Prog: prog}, Options: opts}.Run()
 }
 
 // AnalyzeInfo runs the full pipeline on an already finalized program.
+//
+// Deprecated: use Pipeline{Source: DynamicSource{Info: info}, Options: opts}.Run().
 func AnalyzeInfo(info *ir.Info, opts Options) (*Result, error) {
-	hier := opts.hierarchy()
-	base := reusedist.Config{HistRes: opts.HistRes, UseFenwick: opts.UseFenwick}
-	if opts.TrackContext {
-		tree := info.Scopes
-		base.ContextFilter = func(s trace.ScopeID) bool {
-			return tree.Valid(s) && tree.Node(s).Kind == scope.KindRoutine
-		}
-	}
-	col := reusedist.NewCollectorWith(hier.Granularities(), base)
-
-	var handler trace.Handler = col
-	var sim *cachesim.Sim
-	if opts.Simulate {
-		sim = cachesim.New(hier)
-		handler = trace.Multi{col, sim}
-	}
-	if opts.Tee != nil {
-		if m, ok := handler.(trace.Multi); ok {
-			handler = append(m, opts.Tee)
-		} else {
-			handler = trace.Multi{handler, opts.Tee}
-		}
-	}
-
-	var runOpts []interp.Option
-	if opts.Init != nil {
-		runOpts = append(runOpts, interp.WithInit(opts.Init))
-	}
-	run, err := interp.Run(info, opts.Params, handler, runOpts...)
-	if err != nil {
-		return nil, fmt.Errorf("core: run: %w", err)
-	}
-
-	mach, err := interp.Layout(info, opts.Params)
-	if err != nil {
-		return nil, fmt.Errorf("core: layout: %w", err)
-	}
-	static := staticanalysis.Analyze(info, mach, staticanalysis.TripsFromRun(run, 1))
-
-	rep, err := metrics.Build(info, col, static, hier, opts.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: metrics: %w", err)
-	}
-	return &Result{
-		Info:      info,
-		Hier:      hier,
-		Report:    rep,
-		Static:    static,
-		Collector: col,
-		Run:       run,
-		Sim:       sim,
-	}, nil
+	return Pipeline{Source: DynamicSource{Info: info}, Options: opts}.Run()
 }
 
 // AnalyzeSaved rebuilds a full report from previously collected
-// reuse-distance data (see internal/persist): no instrumented run happens;
-// the static analysis and miss predictions are recomputed against
-// opts.Hierarchy — which may differ from the collection-time machine as
-// long as the block-size granularities match.
+// reuse-distance data.
+//
+// Deprecated: use Pipeline{Source: SavedSource{Info: info, Collector: col, Trips: trips}, Options: opts}.Run().
 func AnalyzeSaved(info *ir.Info, col *reusedist.Collector,
 	trips staticanalysis.Trips, opts Options) (*Result, error) {
-
-	hier := opts.hierarchy()
-	mach, err := interp.Layout(info, opts.Params)
-	if err != nil {
-		return nil, fmt.Errorf("core: layout: %w", err)
-	}
-	if trips == nil {
-		trips = staticanalysis.ConstTrips(1)
-	}
-	static := staticanalysis.Analyze(info, mach, trips)
-	rep, err := metrics.Build(info, col, static, hier, opts.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: metrics: %w", err)
-	}
-	return &Result{
-		Info:      info,
-		Hier:      hier,
-		Report:    rep,
-		Static:    static,
-		Collector: col,
-	}, nil
+	return Pipeline{Source: SavedSource{Info: info, Collector: col, Trips: trips}, Options: opts}.Run()
 }
 
 // AnalyzeStatic predicts the full report symbolically from the IR — no
-// interpreter run. The reuse-distance histograms come from
-// internal/staticreuse instead of instrumented execution; everything
-// downstream (cache models, metrics, advice, viewers) is shared with the
-// dynamic pipeline. Result.Run is nil.
+// interpreter run.
+//
+// Deprecated: use Pipeline{Source: StaticSource{Prog: prog}, Options: opts}.Run().
 func AnalyzeStatic(prog *ir.Program, opts Options) (*Result, error) {
-	info, err := prog.Finalize()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return AnalyzeStaticInfo(info, opts)
+	return Pipeline{Source: StaticSource{Prog: prog}, Options: opts}.Run()
 }
 
 // AnalyzeStaticInfo is AnalyzeStatic on an already finalized program.
+//
+// Deprecated: use Pipeline{Source: StaticSource{Info: info}, Options: opts}.Run().
 func AnalyzeStaticInfo(info *ir.Info, opts Options) (*Result, error) {
-	hier := opts.hierarchy()
-	est, err := staticreuse.Estimate(info, hier, staticreuse.Options{
-		Params:  opts.Params,
-		HistRes: opts.HistRes,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: static: %w", err)
-	}
-	rep, err := metrics.Build(info, est.Collector, est.Static, hier, opts.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: metrics: %w", err)
-	}
-	return &Result{
-		Info:      info,
-		Hier:      hier,
-		Report:    rep,
-		Static:    est.Static,
-		Collector: est.Collector,
-	}, nil
+	return Pipeline{Source: StaticSource{Info: info}, Options: opts}.Run()
 }
 
 // SimResult is the output of Simulate.
@@ -235,22 +157,37 @@ func (s *SimResult) Cycles(nonStallScale float64) timing.Breakdown {
 }
 
 // Simulate runs only the cache simulator over a program's trace.
+//
+// Deprecated: use Pipeline with Options.SimulateOnly; the simulator and
+// run are in Result.Sim and Result.Run.
 func Simulate(prog *ir.Program, opts Options) (*SimResult, error) {
-	info, err := prog.Finalize()
+	opts.SimulateOnly = true
+	res, err := Pipeline{Source: DynamicSource{Prog: prog}, Options: opts}.Run()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	hier := opts.hierarchy()
-	sim := cachesim.New(hier)
-	var runOpts []interp.Option
-	if opts.Init != nil {
-		runOpts = append(runOpts, interp.WithInit(opts.Init))
+	return &SimResult{
+		Info:     res.Info,
+		Hier:     res.Hier,
+		Sim:      res.Sim,
+		Run:      res.Run,
+		Accesses: res.Run.Accesses,
+	}, nil
+}
+
+// Misses reports total simulated misses at a level; it requires a
+// Result whose options ran the simulator.
+func (r *Result) Misses(level string) uint64 { return r.Sim.Misses(level) }
+
+// Cycles evaluates the timing model on the simulated miss counts; it
+// requires a Result from an executed program with simulation on.
+func (r *Result) Cycles(nonStallScale float64) timing.Breakdown {
+	m := timing.New(r.Hier)
+	misses := map[string]float64{}
+	for _, l := range r.Hier.Levels {
+		misses[l.Name] = float64(r.Sim.Misses(l.Name))
 	}
-	run, err := interp.Run(info, opts.Params, sim, runOpts...)
-	if err != nil {
-		return nil, fmt.Errorf("core: run: %w", err)
-	}
-	return &SimResult{Info: info, Hier: hier, Sim: sim, Run: run, Accesses: run.Accesses}, nil
+	return m.Cycles(r.Run.Accesses, misses, nonStallScale)
 }
 
 // Advice returns ranked Table I recommendations for one level.

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"reusetool/internal/cachesim"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/metrics"
+	"reusetool/internal/pipeline"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/scope"
+	"reusetool/internal/staticanalysis"
+	"reusetool/internal/staticreuse"
+	"reusetool/internal/trace"
+	"reusetool/internal/tracefile"
+)
+
+// Source is where a Pipeline gets its reuse data from. The four
+// implementations cover the toolkit's ingestion modes:
+//
+//   - DynamicSource: instrumented execution of an IR program (the
+//     paper's Section II event stream);
+//   - StaticSource: symbolic prediction from the IR, no execution;
+//   - SavedSource: previously collected reuse-distance data (collect
+//     once, predict for many cache configurations);
+//   - TraceSource: a recorded event trace in the tracefile format (the
+//     seam for traces produced outside this library).
+//
+// The interface is sealed: the Pipeline's behaviour is defined by which
+// of these four it receives.
+type Source interface {
+	sourceKind() string
+}
+
+// DynamicSource executes a program under instrumentation. Exactly one of
+// Prog and Info must be set; Prog is finalized internally.
+type DynamicSource struct {
+	Prog *ir.Program
+	Info *ir.Info
+	// Init fills data arrays before execution (see interp.WithInit). If
+	// nil, Options.Init is used.
+	Init func(*interp.Machine) error
+}
+
+func (DynamicSource) sourceKind() string { return "dynamic" }
+
+// StaticSource predicts reuse symbolically from the IR without running
+// the interpreter (internal/staticreuse). Exactly one of Prog and Info
+// must be set.
+type StaticSource struct {
+	Prog *ir.Program
+	Info *ir.Info
+}
+
+func (StaticSource) sourceKind() string { return "static" }
+
+// SavedSource rebuilds a report from previously collected reuse-distance
+// data (see internal/persist): no instrumented run happens; the static
+// analysis and miss predictions are recomputed against the pipeline's
+// hierarchy — which may differ from the collection-time machine as long
+// as the block-size granularities match.
+type SavedSource struct {
+	Prog *ir.Program
+	Info *ir.Info
+	// Collector holds the restored reuse-distance data.
+	Collector *reusedist.Collector
+	// Trips supplies average loop trip counts for the fragmentation
+	// analysis; nil means a constant 1.
+	Trips staticanalysis.Trips
+}
+
+func (SavedSource) sourceKind() string { return "saved" }
+
+// TraceSource replays a recorded trace in the tracefile text format. The
+// report is built against the scope tree recovered from the trace
+// header; there is no IR, so the fragmentation analysis is skipped and
+// Result.Info is nil (the program structure is Result.Report.Source).
+type TraceSource struct {
+	R io.Reader
+}
+
+func (TraceSource) sourceKind() string { return "trace" }
+
+// Pipeline is the single entry point of the toolkit: a Source feeding
+// the reuse-distance engines, the cache models and the report builder,
+// configured by Options. The legacy Analyze*/Simulate functions are thin
+// wrappers over it.
+//
+//	res, err := core.Pipeline{
+//	    Source:  core.DynamicSource{Prog: prog},
+//	    Options: core.Options{Simulate: true, Parallel: true},
+//	}.Run()
+type Pipeline struct {
+	Source Source
+	Options
+}
+
+// Run executes the pipeline and builds the full Result.
+func (p Pipeline) Run() (*Result, error) {
+	switch s := p.Source.(type) {
+	case DynamicSource:
+		return p.runDynamic(s)
+	case *DynamicSource:
+		return p.runDynamic(*s)
+	case StaticSource:
+		return p.runStatic(s)
+	case *StaticSource:
+		return p.runStatic(*s)
+	case SavedSource:
+		return p.runSaved(s)
+	case *SavedSource:
+		return p.runSaved(*s)
+	case TraceSource:
+		return p.runTrace(s)
+	case *TraceSource:
+		return p.runTrace(*s)
+	case nil:
+		return nil, fmt.Errorf("core: pipeline has no source")
+	}
+	return nil, fmt.Errorf("core: unknown source type %T", p.Source)
+}
+
+// finalized resolves the prog-or-info pair every IR-backed source
+// carries.
+func finalized(prog *ir.Program, info *ir.Info) (*ir.Info, error) {
+	switch {
+	case info != nil && prog != nil:
+		return nil, fmt.Errorf("core: source has both Prog and Info; set exactly one")
+	case info != nil:
+		return info, nil
+	case prog != nil:
+		info, err := prog.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		return info, nil
+	}
+	return nil, fmt.Errorf("core: source has neither Prog nor Info")
+}
+
+// newCollector builds the per-granularity engine set for the target
+// hierarchy.
+func (p Pipeline) newCollector(info *ir.Info) *reusedist.Collector {
+	base := reusedist.Config{HistRes: p.HistRes, UseFenwick: p.UseFenwick}
+	if p.TrackContext && info != nil {
+		tree := info.Scopes
+		base.ContextFilter = func(s trace.ScopeID) bool {
+			return tree.Valid(s) && tree.Node(s).Kind == scope.KindRoutine
+		}
+	}
+	return reusedist.NewCollectorWith(p.hierarchy().Granularities(), base)
+}
+
+// fanOut wires the consumer set into a single trace.Handler. With
+// Options.Parallel and more than one consumer it builds a
+// pipeline.Fanout — every consumer drains its own bounded ring on a
+// dedicated goroutine, which is bit-identical to the sequential path
+// because each consumer still sees the exact ordered stream. Otherwise
+// it returns the sequential reference path: the consumers invoked inline
+// (via trace.Multi when there are several). The returned close function
+// must be called after the producer finishes; it joins the consumer
+// goroutines and surfaces the first consumer error.
+//
+// In parallel mode a Collector is split into its per-granularity
+// engines, so a 3-granularity hierarchy overlaps its three O(log M)
+// tree updates instead of paying them serially per event.
+func (p Pipeline) fanOut(consumers ...trace.Handler) (trace.Handler, func() error) {
+	noop := func() error { return nil }
+	flat := make([]trace.Handler, 0, len(consumers)+2)
+	for _, h := range consumers {
+		if h == nil {
+			continue
+		}
+		if col, ok := h.(*reusedist.Collector); ok && p.Parallel {
+			for _, e := range col.Engines {
+				flat = append(flat, e)
+			}
+			continue
+		}
+		flat = append(flat, h)
+	}
+	switch {
+	case len(flat) == 0:
+		return trace.Discard{}, noop
+	case len(flat) == 1:
+		return flat[0], noop
+	case p.Parallel:
+		f := pipeline.NewFanout(pipeline.Config{}, flat...)
+		return f, f.Close
+	}
+	return trace.Multi(flat), noop
+}
+
+func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
+	info, err := finalized(s.Prog, s.Info)
+	if err != nil {
+		return nil, err
+	}
+	hier := p.hierarchy()
+
+	var col *reusedist.Collector
+	if !p.SimulateOnly {
+		col = p.newCollector(info)
+	}
+	var sim *cachesim.Sim
+	if p.Simulate || p.SimulateOnly {
+		sim = cachesim.New(hier)
+	}
+	var consumers []trace.Handler
+	if col != nil {
+		consumers = append(consumers, col)
+	}
+	if sim != nil {
+		consumers = append(consumers, sim)
+	}
+	if p.Tee != nil {
+		consumers = append(consumers, p.Tee)
+	}
+	handler, join := p.fanOut(consumers...)
+
+	init := s.Init
+	if init == nil {
+		init = p.Init
+	}
+	var runOpts []interp.Option
+	if init != nil {
+		runOpts = append(runOpts, interp.WithInit(init))
+	}
+	run, runErr := interp.Run(info, p.Params, handler, runOpts...)
+	if err := join(); runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("core: run: %w", runErr)
+	}
+
+	res := &Result{Info: info, Hier: hier, Run: run, Sim: sim}
+	if p.SimulateOnly {
+		return res, nil
+	}
+	static := staticanalysis.Analyze(info, run.Machine, staticanalysis.TripsFromRun(run, 1))
+	rep, err := metrics.Build(info, col, static, hier, p.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	res.Report, res.Static, res.Collector = rep, static, col
+	return res, nil
+}
+
+func (p Pipeline) runStatic(s StaticSource) (*Result, error) {
+	info, err := finalized(s.Prog, s.Info)
+	if err != nil {
+		return nil, err
+	}
+	hier := p.hierarchy()
+	est, err := staticreuse.Estimate(info, hier, staticreuse.Options{
+		Params:  p.Params,
+		HistRes: p.HistRes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: static: %w", err)
+	}
+	rep, err := metrics.Build(info, est.Collector, est.Static, hier, p.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Report:    rep,
+		Static:    est.Static,
+		Collector: est.Collector,
+	}, nil
+}
+
+func (p Pipeline) runSaved(s SavedSource) (*Result, error) {
+	info, err := finalized(s.Prog, s.Info)
+	if err != nil {
+		return nil, err
+	}
+	if s.Collector == nil {
+		return nil, fmt.Errorf("core: saved source has no collector")
+	}
+	hier := p.hierarchy()
+	mach, err := interp.Layout(info, p.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	trips := s.Trips
+	if trips == nil {
+		trips = staticanalysis.ConstTrips(1)
+	}
+	static := staticanalysis.Analyze(info, mach, trips)
+	rep, err := metrics.Build(info, s.Collector, static, hier, p.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	return &Result{
+		Info:      info,
+		Hier:      hier,
+		Report:    rep,
+		Static:    static,
+		Collector: s.Collector,
+	}, nil
+}
+
+func (p Pipeline) runTrace(s TraceSource) (*Result, error) {
+	if s.R == nil {
+		return nil, fmt.Errorf("core: trace source has no reader")
+	}
+	hier := p.hierarchy()
+	col := p.newCollector(nil)
+	var sim *cachesim.Sim
+	if p.Simulate || p.SimulateOnly {
+		sim = cachesim.New(hier)
+	}
+	consumers := []trace.Handler{col}
+	if sim != nil {
+		consumers = append(consumers, sim)
+	}
+	if p.Tee != nil {
+		consumers = append(consumers, p.Tee)
+	}
+	handler, join := p.fanOut(consumers...)
+	meta, readErr := tracefile.Read(s.R, handler)
+	if err := join(); readErr == nil {
+		readErr = err
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("core: trace: %w", readErr)
+	}
+	res := &Result{Hier: hier, Sim: sim}
+	if p.SimulateOnly {
+		return res, nil
+	}
+	rep, err := metrics.Build(meta, col, nil, hier, p.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	res.Report, res.Collector = rep, col
+	return res, nil
+}

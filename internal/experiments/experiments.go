@@ -11,18 +11,43 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"reusetool/internal/cache"
 	"reusetool/internal/core"
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
+	"reusetool/internal/pipeline"
 	"reusetool/internal/scope"
 	"reusetool/internal/trace"
 	"reusetool/internal/workloads"
 )
+
+// jobs caps the sweep worker pool; 0 means GOMAXPROCS. Set with SetJobs.
+var jobs int
+
+// SetJobs limits how many workload points the parameter sweeps evaluate
+// concurrently (cmd/experiments -jobs). n <= 0 restores the default of
+// one worker per CPU.
+func SetJobs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	jobs = n
+}
+
+// analyze runs the full dynamic pipeline on one program.
+func analyze(prog *ir.Program, opts core.Options) (*core.Result, error) {
+	return core.Pipeline{Source: core.DynamicSource{Prog: prog}, Options: opts}.Run()
+}
+
+// simulate runs only the cache simulator on one program (the fast path
+// the parameter sweeps use).
+func simulate(prog *ir.Program, init func(*interp.Machine) error, opts core.Options) (*core.Result, error) {
+	opts.SimulateOnly = true
+	return core.Pipeline{Source: core.DynamicSource{Prog: prog, Init: init}, Options: opts}.Run()
+}
 
 // CarrierShare is one row of a carried-misses figure (Fig 5, Fig 10).
 type CarrierShare struct {
@@ -113,7 +138,7 @@ func Fig5(cfg workloads.Sweep3DConfig, hier *cache.Hierarchy) (*Fig5Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	res, err := analyze(prog, core.Options{Hierarchy: hier})
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +177,7 @@ func Table2(cfg workloads.Sweep3DConfig, hier *cache.Hierarchy) (*Table2Result, 
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	res, err := analyze(prog, core.Options{Hierarchy: hier})
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +253,7 @@ func Fig8(meshes []int64, hier *cache.Hierarchy) ([]Fig8Row, error) {
 		if err != nil {
 			return err
 		}
-		sr, err := core.Simulate(prog, core.Options{Hierarchy: hier})
+		sr, err := simulate(prog, nil, core.Options{Hierarchy: hier})
 		if err != nil {
 			return err
 		}
@@ -251,51 +276,11 @@ func Fig8(meshes []int64, hier *cache.Hierarchy) ([]Fig8Row, error) {
 	return rows, nil
 }
 
-// forEachParallel runs f(0..n-1) across CPUs, returning the first error.
-// Experiment sweeps are embarrassingly parallel: each point simulates an
-// independent workload configuration.
+// forEachParallel runs f(0..n-1) on the shared worker pool, returning
+// the first error. Experiment sweeps are embarrassingly parallel: each
+// point simulates an independent workload configuration.
 func forEachParallel(n int, f func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		mu       sync.Mutex
-		firstErr error
-	)
-	next.Store(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				if err := f(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pipeline.ForEach(jobs, n, f)
 }
 
 // Fig8Find returns the row for a variant at a mesh size.

@@ -46,7 +46,7 @@ func Fig9(cfg workloads.GTCConfig, hier *cache.Hierarchy) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(prog, core.Options{Hierarchy: hier, Init: init})
+	res, err := analyze(prog, core.Options{Hierarchy: hier, Init: init})
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +112,7 @@ func Fig10(cfg workloads.GTCConfig, hier *cache.Hierarchy) (*Fig10Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(prog, core.Options{Hierarchy: hier, Init: init})
+	res, err := analyze(prog, core.Options{Hierarchy: hier, Init: init})
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +176,7 @@ func Fig11(base workloads.GTCConfig, micells []int64, hier *cache.Hierarchy) ([]
 		if err != nil {
 			return err
 		}
-		sr, err := core.Simulate(prog, core.Options{Hierarchy: hier, Init: init})
+		sr, err := simulate(prog, init, core.Options{Hierarchy: hier})
 		if err != nil {
 			return err
 		}

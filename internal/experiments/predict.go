@@ -65,7 +65,7 @@ func PredictSweep3D(train, targets []int64, levelName string, hier *cache.Hierar
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+		res, err := analyze(prog, core.Options{Hierarchy: hier})
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +184,7 @@ func measureSweep3D(n int64, levelName string, hier *cache.Hierarchy) (float64, 
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Analyze(prog, core.Options{Hierarchy: hier})
+	res, err := analyze(prog, core.Options{Hierarchy: hier})
 	if err != nil {
 		return 0, err
 	}

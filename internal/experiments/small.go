@@ -29,11 +29,11 @@ type Fig1Result struct {
 // moves the outer loop's spatial reuse inward, collapsing the miss count.
 func Fig1(n, m int64, hier *cache.Hierarchy) (*Fig1Result, error) {
 	params := map[string]int64{"N": n, "M": m}
-	bad, err := core.Analyze(workloads.Fig1(false), core.Options{Hierarchy: hier, Params: params})
+	bad, err := analyze(workloads.Fig1(false), core.Options{Hierarchy: hier, Params: params})
 	if err != nil {
 		return nil, err
 	}
-	good, err := core.Analyze(workloads.Fig1(true), core.Options{Hierarchy: hier, Params: params})
+	good, err := analyze(workloads.Fig1(true), core.Options{Hierarchy: hier, Params: params})
 	if err != nil {
 		return nil, err
 	}

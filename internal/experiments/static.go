@@ -63,11 +63,11 @@ func StaticValidation(level string) ([]StaticRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", tc.name, err)
 		}
-		dyn, err := core.AnalyzeInfo(info, core.Options{})
+		dyn, err := core.Pipeline{Source: core.DynamicSource{Info: info}}.Run()
 		if err != nil {
 			return nil, fmt.Errorf("%s: dynamic: %w", tc.name, err)
 		}
-		st, err := core.AnalyzeStaticInfo(info, core.Options{})
+		st, err := core.Pipeline{Source: core.StaticSource{Info: info}}.Run()
 		if err != nil {
 			return nil, fmt.Errorf("%s: static: %w", tc.name, err)
 		}

@@ -92,6 +92,11 @@ type Result struct {
 	Accesses uint64
 	// Trips holds per-loop trip statistics keyed by loop scope ID.
 	Trips map[trace.ScopeID]TripStat
+	// Machine is the executed machine with its bound parameters and array
+	// layout; downstream analyses (e.g. the static fragmentation pass)
+	// read strides and base addresses from it instead of laying the
+	// program out a second time.
+	Machine *Machine
 }
 
 // AvgTrips returns the average trip count of the loop with the given
@@ -127,7 +132,7 @@ func Run(info *ir.Info, params map[string]int64, h trace.Handler, opts ...Option
 	if err := m.call(info.Prog.Main); err != nil {
 		return nil, err
 	}
-	res := &Result{Accesses: m.accesses, Trips: map[trace.ScopeID]TripStat{}}
+	res := &Result{Accesses: m.accesses, Trips: map[trace.ScopeID]TripStat{}, Machine: m}
 	for s, t := range m.trips {
 		res.Trips[s] = *t
 	}

@@ -190,7 +190,9 @@ func Build(src Source, col *reusedist.Collector, static *staticanalysis.Result,
 			lr.MissesByArray[arrName] += cold
 			lr.MissesByRef[rd.Ref] += cold
 
-			for _, p := range rd.Patterns {
+			// SortedPatterns (not the Patterns map) so the report — and
+			// its serialized XML — is byte-identical across runs.
+			for _, p := range rd.SortedPatterns(thIdx) {
 				fa := float64(p.MissAt[thIdx])
 				var misses float64
 				switch model {
@@ -248,7 +250,18 @@ func Build(src Source, col *reusedist.Collector, static *staticanalysis.Result,
 		}
 
 		sort.SliceStable(lr.Patterns, func(i, j int) bool {
-			return lr.Patterns[i].Misses > lr.Patterns[j].Misses
+			a, b := lr.Patterns[i], lr.Patterns[j]
+			if a.Misses != b.Misses {
+				return a.Misses > b.Misses
+			}
+			// Total order on ties, for run-to-run reproducible reports.
+			if a.Ref != b.Ref {
+				return a.Ref < b.Ref
+			}
+			if a.Source != b.Source {
+				return a.Source < b.Source
+			}
+			return a.Carrying < b.Carrying
 		})
 		rep.Levels = append(rep.Levels, lr)
 	}

@@ -1,0 +1,206 @@
+// Package pipeline parallelizes the instrumentation event stream across
+// trace consumers.
+//
+// The paper's event handler drives one reuse-distance engine per block
+// granularity plus the execution-driven cache simulator off a single
+// access stream. That fan-out is embarrassingly parallel across
+// consumers: each engine only needs to see the events in order, not to
+// see them at the same moment as its siblings. Fanout exploits this: the
+// producer (the IR interpreter) appends events to a fixed-size batch,
+// and every full batch is published to one bounded SPSC ring per
+// consumer; each consumer drains its ring on a dedicated goroutine and
+// replays the batches into its trace.Handler.
+//
+// Because every consumer receives the exact ordered stream, the results
+// are bit-identical to the sequential trace.Multi path — the consumers
+// merely run concurrently with the producer and with each other. The
+// bounded rings provide backpressure: when the slowest consumer lags by
+// RingSize batches, the producer blocks until it catches up, so memory
+// stays bounded at O(consumers × RingSize × BatchSize) events.
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"reusetool/internal/trace"
+)
+
+// Default sizing: batches large enough to amortize ring synchronization
+// down to noise (a lock operation per ~4k events), rings deep enough to
+// absorb consumer jitter without ballooning memory.
+const (
+	DefaultBatchSize = 4096
+	DefaultRingSize  = 8
+)
+
+// Config sizes a Fanout. The zero value selects the defaults.
+type Config struct {
+	// BatchSize is the number of events per published batch.
+	BatchSize int
+	// RingSize is the per-consumer ring capacity, in batches.
+	RingSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	return c
+}
+
+// batch is one published slice of events plus the number of consumers
+// that still have to release it; the last one recycles it.
+type batch struct {
+	ev   []trace.Event
+	refs atomic.Int32
+}
+
+// consumer owns one handler, its ring, and its draining goroutine.
+type consumer struct {
+	h    trace.Handler
+	ring *ring
+	done chan struct{}
+	err  error
+}
+
+// run drains the ring until close, replaying batches into the handler.
+// A panicking handler poisons only this consumer: the error is recorded,
+// and the remaining batches are drained (and released) without replay so
+// the producer and sibling consumers never block on a dead ring.
+func (c *consumer) run(f *Fanout) {
+	defer close(c.done)
+	for {
+		b, ok := c.ring.pop()
+		if !ok {
+			return
+		}
+		if c.err == nil {
+			c.replay(b.ev)
+		}
+		if b.refs.Add(-1) == 0 {
+			f.recycle(b)
+		}
+	}
+}
+
+func (c *consumer) replay(events []trace.Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("pipeline: consumer %T: %v", c.h, r)
+		}
+	}()
+	trace.ReplayEvents(events, c.h)
+}
+
+// Fanout distributes one event stream to several handlers, each on its
+// own goroutine. It implements trace.Handler for the producer side;
+// events are only visible to consumers at batch boundaries. Call Close
+// exactly once after the producer finishes to flush the final partial
+// batch, join every consumer, and collect the first error.
+//
+// Fanout is single-producer: the Handler methods must be called from one
+// goroutine, as the interpreter does.
+type Fanout struct {
+	cfg    Config
+	cons   []*consumer
+	cur    []trace.Event
+	free   chan *batch
+	closed bool
+}
+
+// NewFanout starts one draining goroutine per handler.
+func NewFanout(cfg Config, handlers ...trace.Handler) *Fanout {
+	cfg = cfg.withDefaults()
+	f := &Fanout{
+		cfg: cfg,
+		// Capacity for every in-flight batch plus slack so recycling
+		// never blocks a consumer.
+		free: make(chan *batch, cfg.RingSize*len(handlers)+2*len(handlers)+2),
+	}
+	for _, h := range handlers {
+		c := &consumer{h: h, ring: newRing(cfg.RingSize), done: make(chan struct{})}
+		f.cons = append(f.cons, c)
+		go c.run(f)
+	}
+	f.cur = f.newBatchBuf()
+	return f
+}
+
+func (f *Fanout) newBatchBuf() []trace.Event {
+	select {
+	case b := <-f.free:
+		return b.ev[:0]
+	default:
+		return make([]trace.Event, 0, f.cfg.BatchSize)
+	}
+}
+
+func (f *Fanout) recycle(b *batch) {
+	select {
+	case f.free <- b:
+	default:
+	}
+}
+
+// publish hands the current batch to every consumer ring in order.
+func (f *Fanout) publish() {
+	if len(f.cur) == 0 {
+		return
+	}
+	b := &batch{ev: f.cur}
+	b.refs.Store(int32(len(f.cons)))
+	for _, c := range f.cons {
+		c.ring.push(b)
+	}
+	f.cur = f.newBatchBuf()
+}
+
+func (f *Fanout) emit(e trace.Event) {
+	f.cur = append(f.cur, e)
+	if len(f.cur) >= f.cfg.BatchSize {
+		f.publish()
+	}
+}
+
+// EnterScope implements trace.Handler.
+func (f *Fanout) EnterScope(s trace.ScopeID) {
+	f.emit(trace.Event{Kind: trace.EvEnter, Scope: s})
+}
+
+// ExitScope implements trace.Handler.
+func (f *Fanout) ExitScope(s trace.ScopeID) {
+	f.emit(trace.Event{Kind: trace.EvExit, Scope: s})
+}
+
+// Access implements trace.Handler.
+func (f *Fanout) Access(ref trace.RefID, addr uint64, size uint32, write bool) {
+	f.emit(trace.Event{Kind: trace.EvAccess, Ref: ref, Addr: addr, Size: size, Write: write})
+}
+
+// Close flushes the final partial batch, signals end-of-stream, joins
+// every consumer goroutine, and returns the first consumer error (in
+// consumer order). After Close the Fanout must not receive events.
+// Once Close returns, every handler has processed the complete stream,
+// so reading their results needs no further synchronization.
+func (f *Fanout) Close() error {
+	if f.closed {
+		return fmt.Errorf("pipeline: Fanout closed twice")
+	}
+	f.closed = true
+	f.publish()
+	for _, c := range f.cons {
+		c.ring.close()
+	}
+	var first error
+	for _, c := range f.cons {
+		<-c.done
+		if first == nil && c.err != nil {
+			first = c.err
+		}
+	}
+	return first
+}

@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reusetool/internal/trace"
+)
+
+// drive pushes a deterministic mixed stream of n access events (with
+// scope brackets every 100) through h.
+func drive(h trace.Handler, n int) {
+	h.EnterScope(0)
+	for i := 0; i < n; i++ {
+		if i%100 == 0 {
+			h.EnterScope(trace.ScopeID(1 + i%7))
+		}
+		h.Access(trace.RefID(i%13), uint64(i*64), 8, i%3 == 0)
+		if i%100 == 99 {
+			h.ExitScope(trace.ScopeID(1 + (i-99)%7))
+		}
+	}
+	h.ExitScope(0)
+}
+
+func TestFanoutMatchesMulti(t *testing.T) {
+	const n = 10000
+	// Sequential reference.
+	var seq [3]trace.Recorder
+	drive(trace.Multi{&seq[0], &seq[1], &seq[2]}, n)
+
+	var par [3]trace.Recorder
+	f := NewFanout(Config{BatchSize: 64, RingSize: 2}, &par[0], &par[1], &par[2])
+	drive(f, n)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if !reflect.DeepEqual(seq[i].Events, par[i].Events) {
+			t.Fatalf("consumer %d saw a different stream (%d vs %d events)",
+				i, len(par[i].Events), len(seq[i].Events))
+		}
+	}
+}
+
+func TestFanoutCounters(t *testing.T) {
+	var a, b trace.Counter
+	f := NewFanout(Config{}, &a, &b)
+	drive(f, 5000)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("consumers disagree: %+v vs %+v", a, b)
+	}
+	if a.Accesses != 5000 {
+		t.Fatalf("accesses = %d, want 5000", a.Accesses)
+	}
+	if a.Enters != a.Exits {
+		t.Fatalf("unbalanced scopes: %d enters, %d exits", a.Enters, a.Exits)
+	}
+}
+
+// slowHandler simulates a consumer that lags behind the producer. Its
+// access count is atomic because the test samples it concurrently.
+type slowHandler struct {
+	delay    time.Duration
+	accesses atomic.Int64
+}
+
+func (s *slowHandler) EnterScope(trace.ScopeID) {}
+func (s *slowHandler) ExitScope(trace.ScopeID)  {}
+
+func (s *slowHandler) Access(trace.RefID, uint64, uint32, bool) {
+	time.Sleep(s.delay)
+	s.accesses.Add(1)
+}
+
+// TestFanoutBackpressure checks that a slow consumer bounds the
+// producer's buffering: the slow ring can never hold more than RingSize
+// batches, so with BatchSize*RingSize slack the producer must block
+// rather than run ahead of the consumer by more than that window.
+func TestFanoutBackpressure(t *testing.T) {
+	slow := &slowHandler{delay: 50 * time.Microsecond}
+	var produced atomic.Int64
+	f := NewFanout(Config{BatchSize: 8, RingSize: 2}, slow)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			f.Access(0, uint64(i), 8, false)
+			produced.Add(1)
+		}
+	}()
+	// Sample the in-flight window while the producer runs: events
+	// produced but not yet consumed can never exceed the rings plus the
+	// fill batch plus the batch being replayed.
+	limit := int64(8 * (2 + 2))
+	for {
+		select {
+		case <-done:
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := slow.accesses.Load(); got != 400 {
+				t.Fatalf("slow consumer saw %d accesses, want 400", got)
+			}
+			return
+		default:
+			if ahead := produced.Load() - slow.accesses.Load(); ahead > limit {
+				t.Fatalf("producer ran %d events ahead of slow consumer (limit %d)", ahead, limit)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// panicHandler fails on the k-th access.
+type panicHandler struct {
+	trace.Counter
+	k int
+}
+
+func (p *panicHandler) Access(ref trace.RefID, addr uint64, size uint32, w bool) {
+	p.Counter.Access(ref, addr, size, w)
+	if int(p.Counter.Accesses) == p.k {
+		panic(fmt.Sprintf("handler failed at access %d", p.k))
+	}
+}
+
+func TestFanoutSurfacesConsumerError(t *testing.T) {
+	var ok trace.Counter
+	bad := &panicHandler{k: 500}
+	f := NewFanout(Config{BatchSize: 32, RingSize: 2}, &ok, bad)
+	drive(f, 2000)
+	err := f.Close()
+	if err == nil {
+		t.Fatal("Close did not surface the consumer panic")
+	}
+	if !strings.Contains(err.Error(), "failed at access 500") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The healthy consumer still processed the full stream.
+	if ok.Accesses != 2000 {
+		t.Fatalf("healthy consumer saw %d accesses, want 2000", ok.Accesses)
+	}
+}
+
+func TestFanoutCloseTwice(t *testing.T) {
+	f := NewFanout(Config{}, trace.Discard{})
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("second Close should error")
+	}
+}
+
+func TestFanoutEmptyStream(t *testing.T) {
+	var c trace.Counter
+	f := NewFanout(Config{}, &c)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses != 0 || c.Enters != 0 {
+		t.Fatalf("events on an empty stream: %+v", c)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := newRing(2)
+	b1, b2 := &batch{}, &batch{}
+	r.push(b1)
+	r.push(b2)
+	if r.len() != 2 {
+		t.Fatalf("len = %d, want 2", r.len())
+	}
+	if got, ok := r.pop(); !ok || got != b1 {
+		t.Fatal("pop order broken")
+	}
+	r.close()
+	if got, ok := r.pop(); !ok || got != b2 {
+		t.Fatal("close lost a queued batch")
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop after drain should report end-of-stream")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 16} {
+		var sum atomic.Int64
+		if err := ForEach(jobs, 100, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum.Load() != 4950 {
+			t.Fatalf("jobs=%d: sum = %d, want 4950", jobs, sum.Load())
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	err := ForEach(4, 100, func(i int) error {
+		if i == 7 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs f(0..n-1) on a pool of jobs workers, returning the first
+// error. jobs <= 0 selects GOMAXPROCS. Parameter sweeps (the Figure 8
+// and 11 mesh/micell grids) are embarrassingly parallel across points:
+// each index simulates an independent workload configuration, so the
+// only coordination is the shared work counter.
+//
+// After an error, workers finish their current item and stop picking up
+// new ones; already-started items still complete.
+func ForEach(jobs, n int, f func(i int) error) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed() {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

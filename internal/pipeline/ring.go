@@ -1,0 +1,85 @@
+package pipeline
+
+import "sync"
+
+// ring is a bounded single-producer single-consumer queue of event
+// batches. The producer blocks in push while the ring is full — this is
+// the backpressure that keeps a slow consumer from forcing unbounded
+// buffering — and the consumer blocks in pop while it is empty. Closing
+// the ring lets the consumer drain the remaining batches and then
+// observe end-of-stream.
+//
+// The implementation is a classic circular buffer guarded by one mutex
+// and two condition variables. The fan-out moves events in batches of
+// thousands, so the lock is taken a few times per hundred thousand
+// events and never shows up in profiles; the simplicity is worth more
+// than a lock-free design here.
+type ring struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []*batch
+	head     int // next slot to pop
+	n        int // occupied slots
+	closed   bool
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{buf: make([]*batch, capacity)}
+	r.notFull.L = &r.mu
+	r.notEmpty.L = &r.mu
+	return r
+}
+
+// push appends b, blocking while the ring is full. Pushing after close
+// panics: the producer owns the close and must not race itself.
+func (r *ring) push(b *batch) {
+	r.mu.Lock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		panic("pipeline: push on closed ring")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = b
+	r.n++
+	r.mu.Unlock()
+	r.notEmpty.Signal()
+}
+
+// pop removes the oldest batch, blocking while the ring is empty. It
+// returns ok=false once the ring is closed and fully drained.
+func (r *ring) pop() (*batch, bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.n == 0 {
+		r.mu.Unlock()
+		return nil, false
+	}
+	b := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.mu.Unlock()
+	r.notFull.Signal()
+	return b, true
+}
+
+// close marks end-of-stream; the consumer drains what remains.
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+}
+
+// len reports the occupied slots (for tests).
+func (r *ring) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -13,11 +13,11 @@ import (
 // predicted L2 miss totals.
 func compareL2(t *testing.T, prog *ir.Program) (float64, float64) {
 	t.Helper()
-	dyn, err := core.Analyze(prog, core.Options{})
+	dyn, err := core.Pipeline{Source: core.DynamicSource{Prog: prog}}.Run()
 	if err != nil {
 		t.Fatalf("dynamic analyze: %v", err)
 	}
-	st, err := core.AnalyzeStatic(prog, core.Options{})
+	st, err := core.Pipeline{Source: core.StaticSource{Prog: prog}}.Run()
 	if err != nil {
 		t.Fatalf("static analyze: %v", err)
 	}

@@ -140,9 +140,13 @@ func (r *Recorder) Access(ref RefID, addr uint64, size uint32, write bool) {
 }
 
 // Replay feeds the recorded events to h in order.
-func (r *Recorder) Replay(h Handler) {
-	for i := range r.Events {
-		e := &r.Events[i]
+func (r *Recorder) Replay(h Handler) { ReplayEvents(r.Events, h) }
+
+// ReplayEvents feeds a batch of events to h in order. It is the shared
+// decode loop of Recorder.Replay and the parallel fan-out's consumers.
+func ReplayEvents(events []Event, h Handler) {
+	for i := range events {
+		e := &events[i]
 		switch e.Kind {
 		case EvEnter:
 			h.EnterScope(e.Scope)
