@@ -10,6 +10,16 @@
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
 //	          [-static | -static-validate]
+//	reusetool -check prog.loop [more.loop ...]
+//	reusetool -check -workload gtc
+//
+// -check runs the static kernel checker instead of any analysis: it
+// parses each .loop file (or builds the -workload/-program) and reports
+// provably out-of-bounds subscripts, data arrays read through load but
+// never written or initialized, declared-but-unused parameters, and
+// provably empty loops, one file:line diagnostic per finding. The exit
+// status is 1 when there are findings, 2 on usage or parse errors, and
+// 0 for a clean program.
 //
 // Workloads: fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d,
 // sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned.
@@ -41,6 +51,7 @@ import (
 	"reusetool/internal/cache"
 	"reusetool/internal/cct"
 	"reusetool/internal/core"
+	"reusetool/internal/depend"
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
@@ -77,6 +88,7 @@ const (
 	modeTrace       = "trace"
 	modeValidate    = "static-validate"
 	modeDumpProgram = "dump-program"
+	modeCheck       = "check"
 )
 
 // modeTable maps flag combinations to an analysis mode. selector is the
@@ -115,6 +127,11 @@ var modeTable = []struct {
 		selector: "dump-program", mode: modeDumpProgram,
 		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
 		reason:  "no analysis runs in this mode",
+	},
+	{
+		selector: "check", mode: modeCheck,
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		reason:  "the checker runs no analysis",
 	},
 }
 
@@ -169,11 +186,13 @@ func main() {
 		dumpProg  = flag.String("dump-program", "", "write the workload as a .loop program file and exit")
 		static    = flag.Bool("static", false, "predict reports symbolically from the IR, without executing the workload")
 		staticVal = flag.Bool("static-validate", false, "run both pipelines and print a per-reference static-vs-dynamic miss comparison at -level")
+		check     = flag.Bool("check", false, "statically check .loop programs (positional args) or the -workload/-program, then exit")
 	)
 	flag.Var(params, "param", "workload parameter override, name=value (repeatable)")
 	flag.Parse()
 	_ = *static
 	_ = *staticVal
+	_ = *check
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -181,6 +200,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if mode == modeCheck {
+		os.Exit(runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params))
 	}
 
 	hier := cache.ScaledItanium2()
@@ -512,6 +535,70 @@ func analyzeTraceFile(path, level string, share float64, xmlOut bool, opts core.
 }
 
 // loadProgramFile parses a .loop program (see internal/lang).
+// runCheck is the -check mode. Positional arguments name .loop files to
+// check; with none, the -program file or -workload builds the target.
+// Built-in workloads fill their data arrays from Go init code, so the
+// uninitialized-data check is suppressed for them. Returns the process
+// exit code: 0 clean, 1 findings, 2 usage/parse errors.
+func runCheck(out, errw io.Writer, files []string, workload, progFile string, params map[string]int64) int {
+	type target struct {
+		prog *ir.Program
+		opts depend.CheckOptions
+	}
+	if len(files) == 0 && progFile != "" {
+		files = []string{progFile}
+	}
+	var targets []target
+	if len(files) > 0 {
+		for _, path := range files {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(errw, err)
+				return 2
+			}
+			prog, _, meta, err := lang.ParseFile(path, string(data))
+			if err != nil {
+				fmt.Fprintln(errw, err)
+				return 2
+			}
+			targets = append(targets, target{prog: prog, opts: depend.CheckOptions{
+				Params:      params,
+				Initialized: meta.Inited,
+				ParamLines:  meta.ParamLines,
+				File:        path,
+			}})
+		}
+	} else {
+		prog, init, err := buildWorkload(workload)
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 2
+		}
+		targets = append(targets, target{prog: prog, opts: depend.CheckOptions{
+			Params:            params,
+			AssumeInitialized: init != nil,
+		}})
+	}
+
+	findings := 0
+	for _, t := range targets {
+		info, err := t.prog.Finalize()
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 2
+		}
+		for _, d := range depend.Check(info, t.opts) {
+			fmt.Fprintln(out, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(errw, "%d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
 func loadProgramFile(path string) (*ir.Program, func(*interp.Machine) error, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

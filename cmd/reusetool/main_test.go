@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -76,6 +79,8 @@ func TestResolveMode(t *testing.T) {
 		{name: "trace", set: set("from-trace", "level", "xml"), want: modeTrace},
 		{name: "validate", set: set("static-validate", "level"), want: modeValidate},
 		{name: "dump program", set: set("dump-program", "workload"), want: modeDumpProgram},
+		{name: "check", set: set("check"), want: modeCheck},
+		{name: "check workload", set: set("check", "workload"), want: modeCheck},
 
 		{name: "two selectors", set: set("static", "load"),
 			wantErr: []string{"-static", "-load", "choose one"}},
@@ -95,6 +100,10 @@ func TestResolveMode(t *testing.T) {
 			wantErr: []string{"-static-validate", "-xml"}},
 		{name: "dump program xml", set: set("dump-program", "xml"),
 			wantErr: []string{"-dump-program", "-xml"}},
+		{name: "check xml", set: set("check", "xml"),
+			wantErr: []string{"-check", "-xml"}},
+		{name: "check static", set: set("check", "static"),
+			wantErr: []string{"-check", "-static", "choose one"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -139,5 +148,79 @@ func TestParamList(t *testing.T) {
 	}
 	if s := p.String(); !strings.Contains(s, "42") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestRunCheckCleanPrograms: every shipped .loop program and built-in
+// workload must pass the static checker.
+func TestRunCheckCleanPrograms(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "programs", "*.loop"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no .loop programs found: %v", err)
+	}
+	var out, errw bytes.Buffer
+	if code := runCheck(&out, &errw, files, "", "", nil); code != 0 {
+		t.Errorf("checker on shipped programs: exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	for _, w := range []string{
+		"fig1a", "fig1b", "fig2", "stream", "stencil", "transpose",
+		"sweep3d", "sweep3d-blk6", "sweep3d-blk6ic", "gtc", "gtc-tuned",
+	} {
+		out.Reset()
+		errw.Reset()
+		if code := runCheck(&out, &errw, nil, w, "", nil); code != 0 {
+			t.Errorf("checker on workload %s: exit %d\n%s%s", w, code, out.String(), errw.String())
+		}
+	}
+}
+
+// TestRunCheckFindings: a program with an unused parameter and a
+// provably empty loop exits 1 with file:line diagnostics.
+func TestRunCheckFindings(t *testing.T) {
+	src := `program bad
+param N 8
+param unused 3
+array A f64 [N]
+
+routine main file bad.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    access A[i]
+  }
+  for j = 5 .. 2 line 5 {
+    access A[j]
+  }
+}
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.loop")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := runCheck(&out, &errw, []string{path}, "", "", nil)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"unused-param", `"unused"`, "empty-loop", path + ":"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunCheckParseError: a malformed file exits 2.
+func TestRunCheckParseError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.loop")
+	if err := os.WriteFile(path, []byte("for = {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := runCheck(&out, &errw, []string{path}, "", "", nil); code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "broken.loop") {
+		t.Errorf("parse error %q does not carry the file name", errw.String())
 	}
 }

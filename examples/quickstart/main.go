@@ -29,7 +29,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	if err := viewer.Advice(os.Stdout, bad.Report, "L2", 0.05); err != nil {
+	// bad.Deps carries the symbolic dependence analysis, so the advice is
+	// legality-gated: the interchange below is printed as provably legal.
+	if err := viewer.AdviceWith(os.Stdout, bad.Report, bad.Deps, "L2", 0.05); err != nil {
 		log.Fatal(err)
 	}
 

@@ -49,8 +49,9 @@ func main() {
 	}
 	fmt.Println()
 
-	// Table I advice.
-	if err := viewer.Advice(os.Stdout, res.Report, "L2", 0.05); err != nil {
+	// Table I advice, legality-gated by the dependence analyzer: the
+	// idiag interchange is reported illegal (the wavefront recurrence).
+	if err := viewer.AdviceWith(os.Stdout, res.Report, res.Deps, "L2", 0.05); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()

@@ -14,14 +14,23 @@
 //	C a time-step or program main loop       -> time skewing, or accept the
 //	                                            misses as intrinsic
 //
-// The recommendations are exactly that — guidance; legality is left to the
-// developer, as in the paper.
+// Each recommendation carries a legality verdict from the symbolic
+// dependence analyzer (package depend) when one is supplied: interchange
+// is checked against the (<,>) rule, fusion against fusion-preventing
+// backward dependences, time skewing against constant carried distances,
+// and strip-mining is always legal. A pattern whose time skewing is
+// provably blocked is reported as intrinsic instead. Verdicts degrade to
+// "unknown" — never to a wrong "legal" — whenever a subscript is
+// non-affine or indirect, so the advice stays guidance, as in the paper,
+// but guidance that names the dependence standing in the way.
 package advise
 
 import (
 	"fmt"
 	"sort"
 
+	"reusetool/internal/depend"
+	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
 	"reusetool/internal/scope"
 	"reusetool/internal/trace"
@@ -52,6 +61,10 @@ const (
 	KindTimeSkew
 	// KindGeneral is the fallback when no specific rule applies.
 	KindGeneral
+	// KindIntrinsic marks misses whose only candidate transformation
+	// (time skewing) is provably illegal: the paper's "accept the
+	// misses" outcome.
+	KindIntrinsic
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +84,8 @@ func (k Kind) String() string {
 		return "time-skew/intrinsic"
 	case KindGeneral:
 		return "general"
+	case KindIntrinsic:
+		return "intrinsic"
 	}
 	return "?"
 }
@@ -89,12 +104,27 @@ type Recommendation struct {
 	Share float64
 	// Rationale is a human-readable explanation.
 	Rationale string
+	// Legality is the dependence analyzer's verdict on the recommended
+	// transformation (LegalityUnknown when no analysis was supplied).
+	Legality depend.Legality
+	// LegalityNote explains the verdict: the blocking dependence and
+	// direction vector for an illegal one, the unresolved subscript for
+	// an unknown one, the required skew for time skewing.
+	LegalityNote string
 }
 
 // Advise analyzes one level of a report and returns recommendations for
 // every pattern (and fragmented array) whose misses exceed minShare of the
-// level's total, ranked by descending misses.
+// level's total, ranked by descending misses. Legality fields stay
+// unknown; use AdviseWith to gate them on a dependence analysis.
 func Advise(rep *metrics.Report, levelName string, minShare float64) []Recommendation {
+	return AdviseWith(rep, nil, levelName, minShare)
+}
+
+// AdviseWith is Advise with each recommendation's legality decided by
+// the dependence analysis (which must come from the same program the
+// report was measured on). A nil analysis leaves every verdict unknown.
+func AdviseWith(rep *metrics.Report, deps *depend.Analysis, levelName string, minShare float64) []Recommendation {
 	lr := rep.Level(levelName)
 	if lr == nil || lr.TotalMisses == 0 {
 		return nil
@@ -153,8 +183,67 @@ func Advise(rep *metrics.Report, levelName string, minShare float64) []Recommend
 		out = append(out, *r)
 	}
 
+	if deps != nil {
+		for i := range out {
+			applyLegality(deps, &out[i])
+		}
+	}
+
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Misses > out[j].Misses })
 	return out
+}
+
+// applyLegality fills the Legality fields of one recommendation from
+// the dependence analysis, and downgrades time skewing to intrinsic
+// when the analyzer proves no skew can align the carried dependences.
+func applyLegality(deps *depend.Analysis, r *Recommendation) {
+	loopOf := func(s trace.ScopeID) *ir.Loop {
+		if s == trace.NoScope {
+			return nil
+		}
+		return deps.Info.LoopByScope[s]
+	}
+	switch r.Kind {
+	case KindSplitArray:
+		r.Legality = depend.Legal
+		r.LegalityNote = "splitting the array changes layout only; no iterations are reordered"
+	case KindInterchange:
+		if c := loopOf(r.Carrying); c != nil {
+			v := deps.Interchange(c)
+			r.Legality, r.LegalityNote = v.Legality, v.Note
+		} else {
+			r.LegalityNote = "carrying scope is not a loop"
+		}
+	case KindFuse:
+		l1, l2 := loopOf(r.Source), loopOf(r.Dest)
+		if l1 != nil && l2 != nil {
+			v := deps.Fuse(l1, l2)
+			r.Legality, r.LegalityNote = v.Legality, v.Note
+		} else {
+			r.LegalityNote = "source or destination scope is not a loop"
+		}
+	case KindStripMineFuse:
+		v := deps.StripMine(loopOf(r.Carrying))
+		r.Legality, r.LegalityNote = v.Legality, v.Note
+	case KindTimeSkew:
+		c := loopOf(r.Carrying)
+		if c == nil {
+			r.LegalityNote = "carrying scope is not a loop"
+			return
+		}
+		v := deps.TimeSkew(c)
+		r.Legality, r.LegalityNote = v.Legality, v.Note
+		if v.Legality == depend.Illegal {
+			r.Kind = KindIntrinsic
+			r.Rationale = fmt.Sprintf(
+				"reuse carried by the time-step/main loop %s cannot be time-skewed (%s); these misses are intrinsic",
+				c.Var.Name, v.Note)
+		}
+	default:
+		// Data/computation reordering and the general fallback change
+		// the program beyond what loop dependences decide.
+		r.LegalityNote = "legality of this transformation is not analyzed"
+	}
 }
 
 // classify applies the Table I rules to one pattern.

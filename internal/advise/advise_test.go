@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"reusetool/internal/cache"
+	"reusetool/internal/depend"
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
@@ -250,6 +251,7 @@ func TestKindStrings(t *testing.T) {
 		KindStripMineFuse: "strip-mine+fuse",
 		KindTimeSkew:      "time-skew/intrinsic",
 		KindGeneral:       "general",
+		KindIntrinsic:     "intrinsic",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -287,5 +289,111 @@ func TestDuplicateRecommendationsMerge(t *testing.T) {
 	// The merged recommendation addresses essentially all misses.
 	if len(recs) == 0 || recs[0].Share < 0.8 {
 		t.Errorf("merged share = %v, want the loop's full miss share", recs)
+	}
+}
+
+// reportInfo is report plus the finalized program, for tests that also
+// run the dependence analyzer.
+func reportInfo(t *testing.T, p *ir.Program) (*ir.Info, *metrics.Report) {
+	t.Helper()
+	info, err := p.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := tinyHier()
+	col := reusedist.NewCollector(hier.Granularities(), 0, false)
+	run, err := interp.Run(info, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := interp.Layout(info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := staticanalysis.Analyze(info, mach, staticanalysis.TripsFromRun(run, 1))
+	rep, err := metrics.Build(info, col, static, hier, metrics.FullyAssoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, rep
+}
+
+// TestAdviseWithLegality: the Fig 1 style nest gets interchange advice
+// with a Legal verdict (the only dependence is same-instance), and the
+// nil-analysis path leaves verdicts unknown.
+func TestAdviseWithLegality(t *testing.T) {
+	p := ir.NewProgram("legal")
+	n := p.Param("N", 64)
+	m := p.Param("M", 64)
+	a := p.AddArray("A", 8, n, m)
+	i, j := p.Var("i"), p.Var("j")
+	main := p.AddRoutine("main", "f", 1)
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+			ir.For(j, ir.C(0), ir.Sub(m, ir.C(1)),
+				ir.Do(a.Read(i, j), a.WriteRef(i, j)))),
+	}
+	info, rep := reportInfo(t, p)
+
+	for _, r := range Advise(rep, "C", 0.05) {
+		if r.Legality != depend.LegalityUnknown || r.LegalityNote != "" {
+			t.Errorf("Advise without analysis set legality %v (%q)", r.Legality, r.LegalityNote)
+		}
+	}
+
+	recs := AdviseWith(rep, depend.Analyze(info, nil), "C", 0.05)
+	found := false
+	for _, r := range recs {
+		if r.Kind != KindInterchange {
+			continue
+		}
+		found = true
+		if r.Legality != depend.Legal {
+			t.Errorf("interchange legality = %v (%q), want legal", r.Legality, r.LegalityNote)
+		}
+		if r.LegalityNote == "" {
+			t.Error("interchange legality note is empty")
+		}
+	}
+	if !found {
+		t.Fatalf("no interchange recommendation in %+v", recs)
+	}
+}
+
+// TestTimeSkewDowngradedToIntrinsic: reuse carried by a time-step loop
+// whose dependence has no constant inner distance must be reported as
+// intrinsic, not as a time-skewing recommendation.
+func TestTimeSkewDowngradedToIntrinsic(t *testing.T) {
+	p := ir.NewProgram("skewblock")
+	n := p.Param("N", 256)
+	a := p.AddArray("A", 8, n)
+	tv, i := p.Var("t"), p.Var("i")
+	main := p.AddRoutine("main", "f", 1)
+	// The write runs over the array mirrored, so the write->read
+	// dependence distance on i varies with i: no skew aligns it.
+	main.Body = []ir.Stmt{
+		ir.For(tv, ir.C(0), ir.C(7),
+			ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+				ir.Do(a.Read(i), a.WriteRef(ir.Sub(ir.Sub(n, ir.C(1)), i)))),
+		).AsTimeStep(),
+	}
+	info, rep := reportInfo(t, p)
+	recs := AdviseWith(rep, depend.Analyze(info, nil), "C", 0.05)
+	ks := kinds(recs)
+	if ks[KindTimeSkew] {
+		t.Errorf("skew-blocked pattern still recommends time skewing: %+v", recs)
+	}
+	if !ks[KindIntrinsic] {
+		t.Errorf("expected an intrinsic recommendation, got %+v", recs)
+	}
+	for _, r := range recs {
+		if r.Kind == KindIntrinsic {
+			if r.Legality != depend.Illegal {
+				t.Errorf("intrinsic legality = %v, want illegal", r.Legality)
+			}
+			if !strings.Contains(r.Rationale, "intrinsic") {
+				t.Errorf("intrinsic rationale %q", r.Rationale)
+			}
+		}
 	}
 }

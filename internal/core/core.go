@@ -23,6 +23,7 @@ import (
 	"reusetool/internal/advise"
 	"reusetool/internal/cache"
 	"reusetool/internal/cachesim"
+	"reusetool/internal/depend"
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
@@ -93,6 +94,10 @@ type Result struct {
 	Collector *reusedist.Collector
 	Run       *interp.Result
 	Sim       *cachesim.Sim
+	// Deps is the symbolic dependence analysis of the program; the
+	// advice and summary writers use it to gate each recommendation on
+	// legality. Nil for trace-only sources (no IR to analyze).
+	Deps *depend.Analysis
 }
 
 // Analyze runs the full pipeline on a program.
@@ -190,14 +195,21 @@ func (r *Result) Cycles(nonStallScale float64) timing.Breakdown {
 	return m.Cycles(r.Run.Accesses, misses, nonStallScale)
 }
 
-// Advice returns ranked Table I recommendations for one level.
+// Advice returns ranked Table I recommendations for one level, each
+// legality-gated by the dependence analysis when one is available.
 func (r *Result) Advice(level string, minShare float64) []advise.Recommendation {
-	return advise.Advise(r.Report, level, minShare)
+	return advise.AdviseWith(r.Report, r.Deps, level, minShare)
 }
 
-// WriteXML serializes the report in the hpcviewer-style XML format.
+// xmlAdviceShare bounds the recommendations exported to XML to the same
+// default share the CLI uses.
+const xmlAdviceShare = 0.05
+
+// WriteXML serializes the report in the hpcviewer-style XML format,
+// including the legality-gated Advice section when dependences were
+// analyzed.
 func (r *Result) WriteXML(w io.Writer) error {
-	data, err := xmlout.Marshal(r.Report)
+	data, err := xmlout.MarshalWith(r.Report, r.Deps, xmlAdviceShare)
 	if err != nil {
 		return err
 	}
@@ -208,5 +220,5 @@ func (r *Result) WriteXML(w io.Writer) error {
 // WriteSummary renders the standard text views (scope tree, carried
 // misses, patterns, fragmentation, advice) for one level.
 func (r *Result) WriteSummary(w io.Writer, level string, minShare float64) error {
-	return viewer.Summary(w, r.Report, level, minShare)
+	return viewer.SummaryWith(w, r.Report, r.Deps, level, minShare)
 }

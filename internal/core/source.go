@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"reusetool/internal/cachesim"
+	"reusetool/internal/depend"
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
@@ -246,6 +247,7 @@ func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
 		return nil, fmt.Errorf("core: metrics: %w", err)
 	}
 	res.Report, res.Static, res.Collector = rep, static, col
+	res.Deps = depend.Analyze(info, p.Params)
 	return res, nil
 }
 
@@ -272,6 +274,7 @@ func (p Pipeline) runStatic(s StaticSource) (*Result, error) {
 		Report:    rep,
 		Static:    est.Static,
 		Collector: est.Collector,
+		Deps:      depend.Analyze(info, p.Params),
 	}, nil
 }
 
@@ -303,6 +306,7 @@ func (p Pipeline) runSaved(s SavedSource) (*Result, error) {
 		Report:    rep,
 		Static:    static,
 		Collector: s.Collector,
+		Deps:      depend.Analyze(info, p.Params),
 	}, nil
 }
 

@@ -1,0 +1,298 @@
+package depend
+
+import (
+	"fmt"
+	"sort"
+
+	"reusetool/internal/ir"
+	"reusetool/internal/symbolic"
+)
+
+// Diagnostic is one static-checker finding, anchored to a source
+// position when the program carries one (.loop programs always do;
+// Go-built workloads fall back to routine/loop lines).
+type Diagnostic struct {
+	File string
+	Line int
+	// Code identifies the check: "oob", "uninit-data", "unused-param"
+	// or "empty-loop".
+	Code string
+	Msg  string
+}
+
+// String renders the diagnostic in file:line: style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Code, d.Msg)
+}
+
+// CheckOptions configures the static checker.
+type CheckOptions struct {
+	// Params overrides default parameter values, as for Analyze.
+	Params map[string]int64
+	// Initialized marks data arrays with an explicit init declaration
+	// (lang.FileMeta.Inited).
+	Initialized map[*ir.Array]bool
+	// AssumeInitialized suppresses the uninitialized-data check for
+	// workloads whose init runs as opaque Go code.
+	AssumeInitialized bool
+	// ParamLines gives declaration lines for parameters
+	// (lang.FileMeta.ParamLines).
+	ParamLines map[string]int
+	// File is the fallback file name for findings without a source
+	// position.
+	File string
+}
+
+// Check runs the static checks on a finalized program and returns the
+// findings sorted by position. Every finding is provable for the given
+// parameter values: the checker stays silent whenever bounds are
+// triangular, accesses are guarded, or subscripts are not affine.
+func Check(info *ir.Info, opts CheckOptions) []Diagnostic {
+	a := Analyze(info, opts.Params)
+	var out []Diagnostic
+
+	fallback := opts.File
+	if fallback == "" && info.Prog.Main != nil {
+		fallback = info.Prog.Main.File
+	}
+	fileOf := func(rt *ir.Routine) string {
+		if rt != nil && rt.File != "" {
+			return rt.File
+		}
+		return fallback
+	}
+
+	// Provably empty loops.
+	loops := make([]*loopInfo, 0, len(a.loops))
+	for _, li := range a.loops {
+		loops = append(loops, li)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].loop.Line < loops[j].loop.Line })
+	for _, li := range loops {
+		if li.empty {
+			out = append(out, Diagnostic{
+				File: fileOf(li.routine),
+				Line: li.loop.Line,
+				Code: "empty-loop",
+				Msg: fmt.Sprintf("loop %s from %s to %s by %d never executes",
+					li.loop.Var.Name, li.lo, li.hi, li.step),
+			})
+		}
+	}
+
+	// Provably out-of-bounds subscripts.
+	for id := range info.Refs {
+		ri := a.refs[info.Refs[id].ID()]
+		if ri == nil || ri.guarded {
+			continue
+		}
+		if !a.rectangularNest(ri.loops) {
+			continue
+		}
+		for d, sub := range ri.subs {
+			form := symbolic.Analyze(sub)
+			if form.HasNonAffine() || form.HasIndirect() {
+				continue
+			}
+			lo, hi, ok := a.affineExtent(form, ri.loops)
+			if !ok {
+				continue
+			}
+			ext, ok := evalRange(ri.ref.Array.Dims[d], a.paramResolver()).Const()
+			if !ok {
+				continue
+			}
+			if lo < 0 || hi > ext-1 {
+				out = append(out, Diagnostic{
+					File: fileOf(ri.routine),
+					Line: ri.ref.Line,
+					Code: "oob",
+					Msg: fmt.Sprintf("subscript %d of %s spans [%d,%d], outside [0,%d]",
+						d, ri.ref.Name(), lo, hi, ext-1),
+				})
+			}
+		}
+	}
+
+	// Data arrays read through Load but never written or initialized.
+	if !opts.AssumeInitialized {
+		out = append(out, a.checkUninitData(info, opts, fileOf)...)
+	}
+
+	// Declared parameters no expression mentions.
+	used := map[string]bool{}
+	for _, rt := range info.Prog.Routines {
+		eachExpr(rt.Body, func(e ir.Expr, line int) {
+			ir.WalkExpr(e, func(x ir.Expr) {
+				if v, ok := x.(*ir.Var); ok {
+					used[v.Name] = true
+				}
+			})
+		})
+	}
+	for _, arr := range info.Prog.Arrays {
+		for _, dim := range arr.Dims {
+			ir.WalkExpr(dim, func(x ir.Expr) {
+				if v, ok := x.(*ir.Var); ok {
+					used[v.Name] = true
+				}
+			})
+		}
+	}
+	params := make([]string, 0, len(info.Prog.Defaults))
+	for name := range info.Prog.Defaults {
+		params = append(params, name)
+	}
+	sort.Strings(params)
+	for _, name := range params {
+		if !used[name] {
+			out = append(out, Diagnostic{
+				File: fallback,
+				Line: opts.ParamLines[name],
+				Code: "unused-param",
+				Msg:  fmt.Sprintf("parameter %q is declared but never used", name),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// rectangularNest reports whether every loop around a reference has
+// constant bounds (given the parameters) and provably executes: only
+// then is the interval of an affine subscript actually attained.
+func (a *Analysis) rectangularNest(nest []*ir.Loop) bool {
+	for _, l := range nest {
+		li := a.loops[l]
+		if li.guarded {
+			return false
+		}
+		lo, ok1 := evalRange(li.lo, a.paramResolver()).Const()
+		hi, ok2 := evalRange(li.hi, a.paramResolver()).Const()
+		if !ok1 || !ok2 {
+			return false
+		}
+		if li.step > 0 && hi < lo {
+			return false
+		}
+		if li.step < 0 && hi > lo {
+			return false
+		}
+	}
+	return true
+}
+
+// affineExtent computes the exact attained [min,max] of an affine
+// subscript form over a rectangular nest. Every variable must resolve
+// to a constant-bounded loop of the nest or a parameter.
+func (a *Analysis) affineExtent(form symbolic.Form, nest []*ir.Loop) (lo, hi int64, ok bool) {
+	lo, hi = form.Const, form.Const
+	for name, coeff := range form.Coeff {
+		if coeff == 0 {
+			continue
+		}
+		var r Range
+		if l := findLoop(nest, name); l != nil {
+			r = a.loops[l].rng
+		} else if v, okp := a.Params[name]; okp {
+			r = point(v)
+		} else {
+			return 0, 0, false
+		}
+		if !r.LoOK || !r.HiOK {
+			return 0, 0, false
+		}
+		c := scaleRange(r, coeff)
+		lo += c.Lo
+		hi += c.Hi
+	}
+	return lo, hi, true
+}
+
+// checkUninitData flags data arrays read through Load with no write
+// reference and no init declaration.
+func (a *Analysis) checkUninitData(info *ir.Info, opts CheckOptions, fileOf func(*ir.Routine) string) []Diagnostic {
+	written := map[*ir.Array]bool{}
+	for _, r := range info.Refs {
+		if r.Write {
+			written[r.Array] = true
+		}
+	}
+	type site struct {
+		file string
+		line int
+	}
+	firstLoad := map[*ir.Array]site{}
+	for _, rt := range info.Prog.Routines {
+		file := fileOf(rt)
+		eachExpr(rt.Body, func(e ir.Expr, line int) {
+			ir.WalkExpr(e, func(x ir.Expr) {
+				ld, ok := x.(*ir.Load)
+				if !ok {
+					return
+				}
+				ln := ld.Line
+				if ln == 0 {
+					ln = line
+				}
+				if _, seen := firstLoad[ld.Array]; !seen {
+					firstLoad[ld.Array] = site{file: file, line: ln}
+				}
+			})
+		})
+	}
+	var out []Diagnostic
+	for _, arr := range info.Prog.Arrays {
+		s, loaded := firstLoad[arr]
+		if !arr.Data || !loaded || written[arr] || opts.Initialized[arr] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			File: s.file,
+			Line: s.line,
+			Code: "uninit-data",
+			Msg:  fmt.Sprintf("data array %q is read through load but never written or initialized", arr.Name),
+		})
+	}
+	return out
+}
+
+// eachExpr visits every expression in a statement body with the line
+// of its carrying statement as fallback position.
+func eachExpr(body []ir.Stmt, f func(e ir.Expr, line int)) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Loop:
+			f(st.Lo, st.Line)
+			f(st.Hi, st.Line)
+			f(st.Step, st.Line)
+			eachExpr(st.Body, f)
+		case *ir.Let:
+			f(st.E, st.Line)
+		case *ir.If:
+			f(st.Cond.L, 0)
+			f(st.Cond.R, 0)
+			eachExpr(st.Then, f)
+			eachExpr(st.Else, f)
+		case *ir.Access:
+			for _, r := range st.Refs {
+				for _, idx := range r.Index {
+					f(idx, r.Line)
+				}
+			}
+		}
+	}
+}

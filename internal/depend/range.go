@@ -1,0 +1,160 @@
+package depend
+
+import "reusetool/internal/ir"
+
+// Range is a conservative integer interval. Each bound is only
+// meaningful when its OK flag is set; a missing flag means the value is
+// unbounded on that side. Unless stated otherwise, operations
+// over-approximate: the true value set is always contained in the
+// result.
+type Range struct {
+	Lo, Hi     int64
+	LoOK, HiOK bool
+}
+
+func point(v int64) Range { return Range{Lo: v, Hi: v, LoOK: true, HiOK: true} }
+func unbounded() Range    { return Range{} }
+func (r Range) Const() (int64, bool) {
+	return r.Lo, r.LoOK && r.HiOK && r.Lo == r.Hi
+}
+
+func addRange(a, b Range) Range {
+	return Range{
+		Lo: a.Lo + b.Lo, LoOK: a.LoOK && b.LoOK,
+		Hi: a.Hi + b.Hi, HiOK: a.HiOK && b.HiOK,
+	}
+}
+
+func negRange(a Range) Range {
+	return Range{Lo: -a.Hi, LoOK: a.HiOK, Hi: -a.Lo, HiOK: a.LoOK}
+}
+
+func subRange(a, b Range) Range { return addRange(a, negRange(b)) }
+
+// scaleRange multiplies by a constant.
+func scaleRange(a Range, k int64) Range {
+	switch {
+	case k == 0:
+		return point(0)
+	case k > 0:
+		return Range{Lo: a.Lo * k, LoOK: a.LoOK, Hi: a.Hi * k, HiOK: a.HiOK}
+	}
+	return Range{Lo: a.Hi * k, LoOK: a.HiOK, Hi: a.Lo * k, HiOK: a.LoOK}
+}
+
+func mulRange(a, b Range) Range {
+	if v, ok := a.Const(); ok {
+		return scaleRange(b, v)
+	}
+	if v, ok := b.Const(); ok {
+		return scaleRange(a, v)
+	}
+	if a.LoOK && a.HiOK && b.LoOK && b.HiOK {
+		p := []int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+		out := point(p[0])
+		for _, v := range p[1:] {
+			if v < out.Lo {
+				out.Lo = v
+			}
+			if v > out.Hi {
+				out.Hi = v
+			}
+		}
+		return out
+	}
+	return unbounded()
+}
+
+func divRange(a, b Range) Range {
+	d, ok := b.Const()
+	if !ok || d == 0 {
+		return unbounded()
+	}
+	// Go's truncated division is monotone in the numerator for a fixed
+	// divisor sign.
+	if d > 0 {
+		return Range{Lo: a.Lo / d, LoOK: a.LoOK, Hi: a.Hi / d, HiOK: a.HiOK}
+	}
+	return Range{Lo: a.Hi / d, LoOK: a.HiOK, Hi: a.Lo / d, HiOK: a.LoOK}
+}
+
+func modRange(a, b Range) Range {
+	m, ok := b.Const()
+	if !ok || m == 0 {
+		return unbounded()
+	}
+	if m < 0 {
+		m = -m
+	}
+	if a.LoOK && a.Lo >= 0 {
+		hi := m - 1
+		if a.HiOK && a.Hi < hi {
+			hi = a.Hi
+		}
+		return Range{Lo: 0, LoOK: true, Hi: hi, HiOK: true}
+	}
+	return Range{Lo: -(m - 1), LoOK: true, Hi: m - 1, HiOK: true}
+}
+
+func minRange(a, b Range) Range {
+	out := Range{}
+	if a.LoOK && b.LoOK {
+		out.LoOK = true
+		out.Lo = min64(a.Lo, b.Lo)
+	}
+	// min(x,y) <= x, so either upper bound alone caps the result.
+	switch {
+	case a.HiOK && b.HiOK:
+		out.HiOK = true
+		out.Hi = min64(a.Hi, b.Hi)
+	case a.HiOK:
+		out.HiOK = true
+		out.Hi = a.Hi
+	case b.HiOK:
+		out.HiOK = true
+		out.Hi = b.Hi
+	}
+	return out
+}
+
+func maxRange(a, b Range) Range {
+	return negRange(minRange(negRange(a), negRange(b)))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// evalRange bounds an expression's value given a variable resolver.
+// Unresolvable variables and Loads yield unbounded results.
+func evalRange(e ir.Expr, resolve func(name string) Range) Range {
+	switch x := e.(type) {
+	case ir.Const:
+		return point(int64(x))
+	case *ir.Var:
+		return resolve(x.Name)
+	case *ir.Bin:
+		l := evalRange(x.L, resolve)
+		r := evalRange(x.R, resolve)
+		switch x.Op {
+		case ir.OpAdd:
+			return addRange(l, r)
+		case ir.OpSub:
+			return subRange(l, r)
+		case ir.OpMul:
+			return mulRange(l, r)
+		case ir.OpDiv:
+			return divRange(l, r)
+		case ir.OpMod:
+			return modRange(l, r)
+		case ir.OpMin:
+			return minRange(l, r)
+		case ir.OpMax:
+			return maxRange(l, r)
+		}
+	}
+	return unbounded()
+}

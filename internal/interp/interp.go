@@ -258,7 +258,7 @@ func (m *Machine) exec(s ir.Stmt) error {
 		ts.Execs++
 		m.handler.EnterScope(st.Scope())
 		slot := st.Var.Slot()
-		for v := lo; v <= hi; v += step {
+		for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
 			m.slots[slot] = v
 			ts.Iters++
 			if err := m.execBody(st.Body); err != nil {

@@ -81,10 +81,13 @@ func (op BinOp) String() string {
 	return "?"
 }
 
-// Bin is a binary expression.
+// Bin is a binary expression. Line, when nonzero, is the source line
+// the expression was parsed from (Const and Var carry no position:
+// constants fold and variables are interned program-wide).
 type Bin struct {
 	Op   BinOp
 	L, R Expr
+	Line int
 }
 
 func (*Bin) exprNode() {}
@@ -99,10 +102,12 @@ func (b *Bin) String() string {
 
 // Load reads an integer element of Array at Index. It models indirect
 // addressing: subscripts computed from data (index arrays, particle
-// coordinates).
+// coordinates). Line, when nonzero, is the source line of the
+// indirection.
 type Load struct {
 	Array *Array
 	Index []Expr
+	Line  int
 }
 
 func (*Load) exprNode() {}

@@ -148,8 +148,8 @@ func (info *Info) finalizeBody(p *Program, body []Stmt, parent trace.ScopeID, lo
 				return err
 			}
 			step, ok := st.Step.(Const)
-			if !ok || step <= 0 {
-				return fmt.Errorf("loop %s: step must be a positive constant, got %v", st.Var.Name, st.Step)
+			if !ok || step == 0 {
+				return fmt.Errorf("loop %s: step must be a nonzero constant, got %v", st.Var.Name, st.Step)
 			}
 			st.scope = info.Scopes.Add(parent, scope.KindLoop, st.Var.Name, st.Line)
 			if st.TimeStep {

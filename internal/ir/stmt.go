@@ -12,11 +12,12 @@ type Stmt interface {
 	stmtNode()
 }
 
-// Loop is a counted loop: for Var := Lo; Var <= Hi; Var += Step.
-// Step must be a positive constant. Lo and Hi may reference outer loop
-// variables and parameters (triangular/wavefront bounds). Each dynamic
-// execution of the loop enters its scope once (not once per iteration),
-// matching the paper's instrumentation of loop entry/exit.
+// Loop is a counted loop: for Var := Lo; Var <= Hi (or Var >= Hi when
+// Step is negative); Var += Step. Step must be a nonzero constant. Lo
+// and Hi may reference outer loop variables and parameters
+// (triangular/wavefront bounds). Each dynamic execution of the loop
+// enters its scope once (not once per iteration), matching the paper's
+// instrumentation of loop entry/exit.
 type Loop struct {
 	Var  *Var
 	Lo   Expr
@@ -41,6 +42,8 @@ func (l *Loop) Scope() trace.ScopeID { return l.scope }
 type Let struct {
 	Var *Var
 	E   Expr
+	// Line is the source line of the binding (0 when built in Go).
+	Line int
 }
 
 func (*Let) stmtNode() {}
@@ -59,6 +62,9 @@ type Ref struct {
 	Array *Array
 	Index []Expr
 	Write bool
+	// Line is the source line of the access (0 when built in Go); static
+	// checker diagnostics anchor here.
+	Line int
 
 	id    trace.RefID
 	scope trace.ScopeID

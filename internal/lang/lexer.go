@@ -50,7 +50,7 @@ type lexer struct {
 	toks []token
 }
 
-func lex(src string) ([]token, error) {
+func lex(filename, src string) ([]token, error) {
 	lx := &lexer{src: src, line: 1}
 	for lx.pos < len(lx.src) {
 		c := lx.src[lx.pos]
@@ -99,7 +99,7 @@ func lex(src string) ([]token, error) {
 			lx.emit(tokPunct, string(c))
 			lx.pos++
 		default:
-			return nil, fmt.Errorf("lang: line %d: unexpected character %q", lx.line, c)
+			return nil, fmt.Errorf("lang: %s:%d: unexpected character %q", filename, lx.line, c)
 		}
 	}
 	lx.emit(tokEOF, "")

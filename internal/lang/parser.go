@@ -12,16 +12,35 @@ import (
 // its data arrays ("init" declarations; nil when the program has none).
 // The returned program has not been finalized.
 func Parse(src string) (*ir.Program, func(*interp.Machine) error, error) {
-	toks, err := lex(src)
+	prog, init, _, err := ParseFile("<input>", src)
+	return prog, init, err
+}
+
+// FileMeta is source-level information ParseFile collects beyond the IR:
+// which data arrays an init declaration covers and where each parameter
+// was declared. The static checker (internal/depend.Check) consumes it.
+type FileMeta struct {
+	// Inited marks data arrays covered by an init declaration.
+	Inited map[*ir.Array]bool
+	// ParamLines maps parameter names to their declaration line.
+	ParamLines map[string]int
+}
+
+// ParseFile is Parse with a file name: error messages carry file:line
+// positions, and the returned FileMeta locates declarations for checker
+// diagnostics.
+func ParseFile(filename, src string) (*ir.Program, func(*interp.Machine) error, *FileMeta, error) {
+	toks, err := lex(filename, src)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, filename: filename,
+		meta: &FileMeta{Inited: map[*ir.Array]bool{}, ParamLines: map[string]int{}}}
 	prog, err := p.file()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return prog, p.initializer(), nil
+	return prog, p.initializer(), p.meta, nil
 }
 
 // initSpec is one "init <array> <kind> [arg]" declaration.
@@ -63,8 +82,10 @@ func (p *parser) initializer() func(*interp.Machine) error {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks     []token
+	pos      int
+	filename string
+	meta     *FileMeta
 
 	prog     *ir.Program
 	arrays   map[string]*ir.Array
@@ -85,7 +106,7 @@ func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("lang: line %d: %s", t.line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("lang: %s:%d: %s", p.filename, t.line, fmt.Sprintf(format, args...))
 }
 
 // accept consumes the next token if it is the given identifier/punct.
@@ -152,6 +173,7 @@ func (p *parser) file() (*ir.Program, error) {
 				return nil, err
 			}
 			p.prog.Param(id.text, v)
+			p.meta.ParamLines[id.text] = id.line
 
 		case "array", "dataarray":
 			id, err := p.expectIdent()
@@ -213,6 +235,7 @@ func (p *parser) file() (*ir.Program, error) {
 				return nil, p.errf(kind, "unknown init kind %q (want identity, stride, random, const)", kind.text)
 			}
 			p.inits = append(p.inits, spec)
+			p.meta.Inited[arr] = true
 
 		default:
 			return nil, p.errf(t, "expected param, array, dataarray or routine, got %q", t.text)
@@ -223,7 +246,7 @@ func (p *parser) file() (*ir.Program, error) {
 	for _, pc := range p.pendingCalls {
 		r, ok := p.routines[pc.name]
 		if !ok {
-			return nil, fmt.Errorf("lang: line %d: call to undeclared routine %q", pc.line, pc.name)
+			return nil, fmt.Errorf("lang: %s:%d: call to undeclared routine %q", p.filename, pc.line, pc.name)
 		}
 		pc.stmt.Callee = r
 	}
@@ -232,7 +255,7 @@ func (p *parser) file() (*ir.Program, error) {
 		p.prog.Main = r
 	}
 	if p.prog.Main == nil {
-		return nil, fmt.Errorf("lang: program %q declares no routines", p.prog.Name)
+		return nil, fmt.Errorf("lang: %s: program %q declares no routines", p.filename, p.prog.Name)
 	}
 	return p.prog, nil
 }
@@ -319,7 +342,9 @@ func (p *parser) stmt() (ir.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ir.Set(p.prog.Var(id.text), e), nil
+		l := ir.Set(p.prog.Var(id.text), e)
+		l.Line = id.line
+		return l, nil
 
 	case "if":
 		return p.ifStmt()
@@ -374,9 +399,13 @@ func (p *parser) forStmt(timestep bool, defaultLine int) (ir.Stmt, error) {
 	for {
 		switch {
 		case p.accept("by"):
+			neg := p.accept("-")
 			v, _, err := p.expectNumber()
 			if err != nil {
 				return nil, err
+			}
+			if neg {
+				v = -v
 			}
 			step = v
 		case p.accept("line"):
@@ -451,6 +480,7 @@ func (p *parser) ref() (*ir.Ref, error) {
 		return nil, err
 	}
 	r := arr.Read(idx...)
+	r.Line = id.line
 	if p.accept("!") {
 		r.Write = true
 	}
@@ -476,6 +506,23 @@ func (p *parser) exprList(closing string) ([]ir.Expr, error) {
 	}
 }
 
+// at stamps the source line on expression nodes that can carry one
+// (Bin, Load); constants fold away and variables are interned, so they
+// stay position-free.
+func at(e ir.Expr, line int) ir.Expr {
+	switch x := e.(type) {
+	case *ir.Bin:
+		if x.Line == 0 {
+			x.Line = line
+		}
+	case *ir.Load:
+		if x.Line == 0 {
+			x.Line = line
+		}
+	}
+	return e
+}
+
 // expr := term (("+"|"-") term)*
 func (p *parser) expr() (ir.Expr, error) {
 	l, err := p.term()
@@ -483,19 +530,20 @@ func (p *parser) expr() (ir.Expr, error) {
 		return nil, err
 	}
 	for {
+		ln := p.peek().line
 		switch {
 		case p.accept("+"):
 			r, err := p.term()
 			if err != nil {
 				return nil, err
 			}
-			l = ir.Add(l, r)
+			l = at(ir.Add(l, r), ln)
 		case p.accept("-"):
 			r, err := p.term()
 			if err != nil {
 				return nil, err
 			}
-			l = ir.Sub(l, r)
+			l = at(ir.Sub(l, r), ln)
 		default:
 			return l, nil
 		}
@@ -509,25 +557,26 @@ func (p *parser) term() (ir.Expr, error) {
 		return nil, err
 	}
 	for {
+		ln := p.peek().line
 		switch {
 		case p.accept("*"):
 			r, err := p.factor()
 			if err != nil {
 				return nil, err
 			}
-			l = ir.Mul(l, r)
+			l = at(ir.Mul(l, r), ln)
 		case p.accept("/"):
 			r, err := p.factor()
 			if err != nil {
 				return nil, err
 			}
-			l = ir.Div(l, r)
+			l = at(ir.Div(l, r), ln)
 		case p.accept("%"):
 			r, err := p.factor()
 			if err != nil {
 				return nil, err
 			}
-			l = ir.Mod(l, r)
+			l = at(ir.Mod(l, r), ln)
 		default:
 			return l, nil
 		}
@@ -549,7 +598,7 @@ func (p *parser) factor() (ir.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ir.Sub(ir.C(0), f), nil
+		return at(ir.Sub(ir.C(0), f), t.line), nil
 
 	case t.text == "(":
 		e, err := p.expr()
@@ -580,9 +629,9 @@ func (p *parser) factor() (ir.Expr, error) {
 			return nil, err
 		}
 		if t.text == "min" {
-			return ir.Min(a, b), nil
+			return at(ir.Min(a, b), t.line), nil
 		}
-		return ir.Max(a, b), nil
+		return at(ir.Max(a, b), t.line), nil
 
 	case t.kind == tokIdent:
 		// Data-array indexing becomes an indirection.
@@ -599,7 +648,7 @@ func (p *parser) factor() (ir.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &ir.Load{Array: arr, Index: idx}, nil
+			return &ir.Load{Array: arr, Index: idx, Line: t.line}, nil
 		}
 		return p.prog.Var(t.text), nil
 	}

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"reusetool/internal/advise"
+	"reusetool/internal/depend"
 	"reusetool/internal/metrics"
 	"reusetool/internal/trace"
 )
@@ -137,13 +138,33 @@ func FragTable(w io.Writer, rep *metrics.Report, level string, top int) error {
 
 // Advice prints ranked Table I recommendations for one level.
 func Advice(w io.Writer, rep *metrics.Report, level string, minShare float64) error {
-	recs := advise.Advise(rep, level, minShare)
+	return AdviceWith(w, rep, nil, level, minShare)
+}
+
+// AdviceWith is Advice with legality verdicts from a dependence
+// analysis: each recommendation is tagged [kind, legality] and followed
+// by the verdict's rationale. A nil analysis reproduces Advice.
+func AdviceWith(w io.Writer, rep *metrics.Report, deps *depend.Analysis, level string, minShare float64) error {
+	recs := advise.AdviseWith(rep, deps, level, minShare)
+	return AdviceRecs(w, recs, deps != nil, level, minShare)
+}
+
+// AdviceRecs prints already-computed recommendations; legality tags and
+// notes appear only when withLegality is set.
+func AdviceRecs(w io.Writer, recs []advise.Recommendation, withLegality bool, level string, minShare float64) error {
 	if len(recs) == 0 {
 		fmt.Fprintf(w, "No recommendations above %.0f%% of %s misses.\n", minShare*100, level)
 		return nil
 	}
 	fmt.Fprintf(w, "Recommended transformations (%s, >= %.0f%% of misses):\n", level, minShare*100)
 	for i, r := range recs {
+		if withLegality {
+			fmt.Fprintf(w, "%2d. [%s, %s] %.1f%% of misses: %s\n", i+1, r.Kind, r.Legality, r.Share*100, r.Rationale)
+			if r.LegalityNote != "" {
+				fmt.Fprintf(w, "      legality: %s\n", r.LegalityNote)
+			}
+			continue
+		}
 		fmt.Fprintf(w, "%2d. [%s] %.1f%% of misses: %s\n", i+1, r.Kind, r.Share*100, r.Rationale)
 	}
 	return nil
@@ -181,6 +202,11 @@ func ArrayTable(w io.Writer, rep *metrics.Report, level string, top int) error {
 // Summary renders the standard report set for one level: scope tree,
 // carried misses, pattern database, fragmentation, and advice.
 func Summary(w io.Writer, rep *metrics.Report, level string, minShare float64) error {
+	return SummaryWith(w, rep, nil, level, minShare)
+}
+
+// SummaryWith is Summary with legality-gated advice (see AdviceWith).
+func SummaryWith(w io.Writer, rep *metrics.Report, deps *depend.Analysis, level string, minShare float64) error {
 	if err := ScopeTree(w, rep, level, minShare); err != nil {
 		return err
 	}
@@ -197,7 +223,7 @@ func Summary(w io.Writer, rep *metrics.Report, level string, minShare float64) e
 		return err
 	}
 	fmt.Fprintln(w)
-	return Advice(w, rep, level, minShare)
+	return AdviceWith(w, rep, deps, level, minShare)
 }
 
 func pct(part, whole float64) float64 {

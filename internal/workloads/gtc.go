@@ -64,8 +64,9 @@ func GTC(cfg GTCConfig) (*ir.Program, func(*interp.Machine) error, error) {
 	p := ir.NewProgram("gtc-" + cfg.ShortName())
 	g := p.Param("grid", cfg.Grid)
 	micell := p.Param("micell", cfg.Micell)
-	_ = micell
-	mi := p.Param("mi", cfg.Grid*cfg.Micell)
+	// mi (the particle count) is derived, not a third parameter:
+	// overriding grid or micell scales the particle arrays with it.
+	mi := ir.Mul(g, micell)
 	ts := p.Param("ts", cfg.TimeSteps)
 
 	// Particle arrays: zion has 7 fields per particle.

@@ -9,20 +9,23 @@ import (
 	"encoding/xml"
 	"fmt"
 
+	"reusetool/internal/advise"
+	"reusetool/internal/depend"
 	"reusetool/internal/metrics"
 	"reusetool/internal/trace"
 )
 
 // Experiment is the XML document root.
 type Experiment struct {
-	XMLName xml.Name  `xml:"ReuseToolExperiment"`
-	Tool    string    `xml:"tool,attr"`
-	Program string    `xml:"program,attr"`
-	Machine string    `xml:"machine,attr"`
-	Metrics []Metric  `xml:"Metrics>Metric"`
-	Root    *XScope   `xml:"ScopeTree>Scope"`
-	Levels  []XLevel  `xml:"PatternDatabase>Level"`
-	Arrays  []XArrays `xml:"FragmentationByArray>Level"`
+	XMLName xml.Name       `xml:"ReuseToolExperiment"`
+	Tool    string         `xml:"tool,attr"`
+	Program string         `xml:"program,attr"`
+	Machine string         `xml:"machine,attr"`
+	Metrics []Metric       `xml:"Metrics>Metric"`
+	Root    *XScope        `xml:"ScopeTree>Scope"`
+	Levels  []XLevel       `xml:"PatternDatabase>Level"`
+	Arrays  []XArrays      `xml:"FragmentationByArray>Level"`
+	Advice  []XAdviceLevel `xml:"Advice>Level,omitempty"`
 }
 
 // Metric declares one metric column.
@@ -76,6 +79,26 @@ type XArrays struct {
 	Arrays []XArray `xml:"Array"`
 }
 
+// XAdviceLevel holds the ranked recommendations for one cache level.
+type XAdviceLevel struct {
+	Name    string    `xml:"name,attr"`
+	Entries []XAdvice `xml:"Recommendation"`
+}
+
+// XAdvice is one Table I recommendation with its legality verdict.
+type XAdvice struct {
+	Kind         string  `xml:"kind,attr"`
+	Array        string  `xml:"array,attr,omitempty"`
+	Source       int32   `xml:"source,attr"`
+	Dest         int32   `xml:"dest,attr"`
+	Carrying     int32   `xml:"carrying,attr"`
+	Misses       float64 `xml:"misses,attr"`
+	Share        float64 `xml:"share,attr"`
+	Legality     string  `xml:"legality,attr"`
+	Rationale    string  `xml:"Rationale"`
+	LegalityNote string  `xml:"LegalityNote,omitempty"`
+}
+
 // XArray is one array's fragmentation miss count.
 type XArray struct {
 	Name       string  `xml:"name,attr"`
@@ -85,6 +108,39 @@ type XArray struct {
 
 // Build converts a report into the XML document model.
 func Build(rep *metrics.Report) *Experiment {
+	return BuildWith(rep, nil, 0)
+}
+
+// BuildWith is Build plus an Advice section: per level, the ranked
+// recommendations above minShare, with legality verdicts when a
+// dependence analysis is supplied.
+func BuildWith(rep *metrics.Report, deps *depend.Analysis, minShare float64) *Experiment {
+	exp := build(rep)
+	if deps == nil {
+		return exp
+	}
+	for _, lr := range rep.Levels {
+		xl := XAdviceLevel{Name: lr.Level.Name}
+		for _, r := range advise.AdviseWith(rep, deps, lr.Level.Name, minShare) {
+			xl.Entries = append(xl.Entries, XAdvice{
+				Kind:         r.Kind.String(),
+				Array:        r.Array,
+				Source:       int32(r.Source),
+				Dest:         int32(r.Dest),
+				Carrying:     int32(r.Carrying),
+				Misses:       r.Misses,
+				Share:        r.Share,
+				Legality:     r.Legality.String(),
+				Rationale:    r.Rationale,
+				LegalityNote: r.LegalityNote,
+			})
+		}
+		exp.Advice = append(exp.Advice, xl)
+	}
+	return exp
+}
+
+func build(rep *metrics.Report) *Experiment {
 	exp := &Experiment{
 		Tool:    "reusetool",
 		Program: rep.Source.Name(),
@@ -168,7 +224,13 @@ func Build(rep *metrics.Report) *Experiment {
 
 // Marshal renders a report as indented XML.
 func Marshal(rep *metrics.Report) ([]byte, error) {
-	exp := Build(rep)
+	return MarshalWith(rep, nil, 0)
+}
+
+// MarshalWith renders a report as indented XML including the Advice
+// section (see BuildWith).
+func MarshalWith(rep *metrics.Report, deps *depend.Analysis, minShare float64) ([]byte, error) {
+	exp := BuildWith(rep, deps, minShare)
 	out, err := xml.MarshalIndent(exp, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("xmlout: %w", err)

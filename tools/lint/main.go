@@ -1,0 +1,142 @@
+// Command lint is a repository-local static pass over the Go sources:
+// report-building code must not print or write while ranging directly
+// over the metric maps (MissesByArray, CarriedByScope, ...), because Go
+// map iteration order is random and the reports would become
+// non-deterministic. The sanctioned pattern is to collect the keys,
+// sort them, and iterate the slice; pure accumulation (summing values,
+// collecting keys for a later sort) is allowed.
+//
+// Usage:
+//
+//	go run ./tools/lint [dir ...]
+//
+// With no arguments the current directory tree is scanned. Findings are
+// printed one per line as file:line: lint: message, and the exit status
+// is 1 when there are any.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// metricMapField matches the per-scope and per-array metric maps of
+// internal/metrics that report builders consume.
+var metricMapField = regexp.MustCompile(`^(Misses|FragMisses|Carried)By(Array|Scope)$`)
+
+// finding is one lint diagnostic.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d: lint: %s", f.pos.Filename, f.pos.Line, f.msg)
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	fset := token.NewFileSet()
+	bad := 0
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, fd := range lintFile(fset, f) {
+			fmt.Println(fd)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "%d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every range statement that iterates a metric map
+// directly while its body emits output.
+func lintFile(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := rs.X.(*ast.SelectorExpr)
+		if !ok || !metricMapField.MatchString(sel.Sel.Name) {
+			return true
+		}
+		if emitsOutput(rs.Body) {
+			out = append(out, finding{
+				pos: fset.Position(rs.Pos()),
+				msg: fmt.Sprintf("ranging over metric map %s emits output in random map order; collect and sort the keys first",
+					sel.Sel.Name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// emitsOutput reports whether the block contains a call that writes
+// user-visible output: fmt.Print*/Fprint* or a Write/WriteString
+// method.
+func emitsOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		case *ast.Ident:
+			name = fn.Name
+		}
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			name == "Write" || name == "WriteString" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestFlagsPrintingInMapOrder(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func bad(lr *Level) {
+	for a, v := range lr.MissesByArray {
+		fmt.Printf("%s %f\n", a, v)
+	}
+}
+`
+	got := lintSource(t, src)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+	if !strings.Contains(got[0].String(), "MissesByArray") {
+		t.Errorf("finding %q does not name the map", got[0])
+	}
+}
+
+func TestAllowsCollectThenSort(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"sort"
+)
+
+func good(lr *Level) {
+	names := make([]string, 0)
+	for a := range lr.MissesByArray {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		fmt.Println(a, lr.MissesByArray[a])
+	}
+	var total float64
+	for _, v := range lr.FragMissesByScope {
+		total += v
+	}
+}
+`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestFlagsWriterMethods(t *testing.T) {
+	src := `package p
+
+func bad(w Writer, lr *Level) {
+	for s, v := range lr.CarriedByScope {
+		w.WriteString(label(s, v))
+	}
+}
+`
+	if got := lintSource(t, src); len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestIgnoresOtherMaps(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func fine(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
