@@ -18,6 +18,9 @@ import (
 	"reusetool/internal/core"
 	"reusetool/internal/experiments"
 	"reusetool/internal/metrics"
+	"reusetool/internal/ostree"
+	"reusetool/internal/reusedist"
+	"reusetool/internal/trace"
 	"reusetool/internal/workloads"
 )
 
@@ -218,29 +221,62 @@ func BenchmarkFig11d_TimeVsMicell(b *testing.B) {
 // Ablations (DESIGN.md section 5).
 // ---------------------------------------------------------------------
 
-// BenchmarkAblation_OSTree compares the AVL and Fenwick order-statistic
-// structures on a realistic trace (the Sweep3D kernel).
+// BenchmarkAblation_OSTree compares the three order-statistic structures
+// (the paper's AVL tree, the map-backed Fenwick window, and the default
+// map-free epoch-compacted Fenwick) by replaying the recorded Sweep3D
+// event stream through otherwise identical engines. All three are exact,
+// so the fingerprint is asserted equal across kinds.
 func BenchmarkAblation_OSTree(b *testing.B) {
-	for _, fenwick := range []bool{false, true} {
-		name := "AVL"
-		if fenwick {
-			name = "Fenwick"
-		}
-		b.Run(name, func(b *testing.B) {
-			cfg := workloads.DefaultSweep3D()
-			cfg.N = 10
-			cfg.Octants = 2
+	events, err := experiments.HotpathTrace("sweep3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	grans := hier().Granularities()
+	var want uint64
+	for _, kind := range []ostree.Kind{ostree.KindEpoch, ostree.KindAVL, ostree.KindFenwick} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var fp uint64
 			for i := 0; i < b.N; i++ {
-				prog, err := workloads.Sweep3D(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				p := core.Pipeline{Source: core.DynamicSource{Prog: prog},
-					Options: core.Options{UseFenwick: fenwick}}
-				if _, err := p.Run(); err != nil {
-					b.Fatal(err)
+				col := reusedist.NewCollectorWith(grans, reusedist.Config{Tree: kind})
+				trace.ReplayEvents(events, col)
+				fp = col.Fingerprint()
+			}
+			if want == 0 {
+				want = fp
+			} else if fp != want {
+				b.Fatalf("%s fingerprint %#x differs from %#x: tree kinds disagree", kind, fp, want)
+			}
+		})
+	}
+}
+
+// BenchmarkHotpath is the per-workload engine-throughput suite: each
+// sub-benchmark replays one recorded trace through a fresh collector and
+// reports ns per reference access. BENCH_hotpath.json records measured
+// before/after numbers for the hot-path overhaul; CI replays every
+// workload once (-bench=Hotpath -benchtime=1x) as a smoke test.
+func BenchmarkHotpath(b *testing.B) {
+	h := hier()
+	for _, name := range experiments.HotpathWorkloads() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			events, err := experiments.HotpathTrace(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var accesses uint64
+			for i := range events {
+				if events[i].Kind == trace.EvAccess {
+					accesses++
 				}
 			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col := experiments.HotpathCollector(h)
+				trace.ReplayEvents(events, col)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(accesses), "ns/access")
 		})
 	}
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/experiments"
+)
+
+// hotpathFile is the JSON schema of -hotpath-out (and of the checked-in
+// BENCH_hotpath.json): per-workload engine replay cost, plus the baseline
+// numbers and speedups when -hotpath-baseline supplies an earlier run.
+type hotpathFile struct {
+	Benchmark string                  `json:"benchmark"`
+	Command   string                  `json:"command"`
+	Date      string                  `json:"date"`
+	Goos      string                  `json:"goos"`
+	Goarch    string                  `json:"goarch"`
+	NumCPU    int                     `json:"num_cpu"`
+	Unit      string                  `json:"unit"`
+	Workloads map[string]hotpathEntry `json:"workloads"`
+	Order     []string                `json:"order"`
+	Note      string                  `json:"note,omitempty"`
+}
+
+type hotpathEntry struct {
+	Accesses      uint64  `json:"accesses"`
+	BlockAccesses uint64  `json:"block_accesses"`
+	NsPerAccess   float64 `json:"ns_per_access"`
+	Fingerprint   string  `json:"fingerprint"`
+	// Baseline fields are present only when -hotpath-baseline was given.
+	BaselineNsPerAccess float64 `json:"baseline_ns_per_access,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// runHotpath measures the engine-only replay cost of every hotpath
+// workload, prints the table, and optionally records/compares JSON.
+func runHotpath(hier *cache.Hierarchy, repeat int, outPath, baselinePath string) error {
+	var baseline *hotpathFile
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		baseline = &hotpathFile{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			return fmt.Errorf("%s: %w", baselinePath, err)
+		}
+	}
+
+	rows, err := experiments.Hotpath(experiments.HotpathWorkloads(), hier, repeat)
+	if err != nil {
+		return err
+	}
+
+	out := hotpathFile{
+		Benchmark: "hotpath suite: reuse-distance collector replay (engine-only, no interpreter)",
+		Command:   "go run ./cmd/experiments -exp hotpath",
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Goos:      runtime.GOOS,
+		Goarch:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Unit:      "ns per reference access, fastest of repeats, ScaledItanium2 granularities",
+		Workloads: map[string]hotpathEntry{},
+	}
+
+	fmt.Printf("Hot-path suite (engine replay, %s, fastest of %d):\n", hier.Name, repeat)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "WORKLOAD\tACCESSES\tNS/ACCESS"
+	if baseline != nil {
+		header += "\tBASELINE\tSPEEDUP"
+	}
+	fmt.Fprintln(tw, header+"\tFINGERPRINT")
+	for _, r := range rows {
+		e := hotpathEntry{
+			Accesses:      r.Accesses,
+			BlockAccesses: r.BlockAccesses,
+			NsPerAccess:   round2(r.NsPerAccess),
+			Fingerprint:   fmt.Sprintf("%016x", r.Fingerprint),
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f", r.Workload, r.Accesses, r.NsPerAccess)
+		if baseline != nil {
+			if b, ok := baseline.Workloads[r.Workload]; ok && b.NsPerAccess > 0 {
+				e.BaselineNsPerAccess = b.NsPerAccess
+				e.Speedup = round2(b.NsPerAccess / r.NsPerAccess)
+				fmt.Fprintf(tw, "\t%.1f\t%.2fx", b.NsPerAccess, e.Speedup)
+				if b.Fingerprint != "" && b.Fingerprint != e.Fingerprint {
+					tw.Flush()
+					return fmt.Errorf("hotpath: %s: fingerprint %s differs from baseline %s — engine output changed",
+						r.Workload, e.Fingerprint, b.Fingerprint)
+				}
+			} else {
+				fmt.Fprintf(tw, "\t-\t-")
+			}
+		}
+		fmt.Fprintf(tw, "\t%s\n", e.Fingerprint)
+		out.Workloads[r.Workload] = e
+		out.Order = append(out.Order, r.Workload)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", outPath)
+	}
+	return nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -39,6 +39,10 @@ func main() {
 		full    = flag.Bool("full", false, "use the full-size Itanium2 hierarchy instead of the scaled one")
 		csvDir  = flag.String("csv", "", "also write fig8.csv and fig11.csv curve data into this directory")
 		jobs    = flag.Int("jobs", 0, "max sweep points evaluated concurrently (0 = one per CPU)")
+
+		hotOut      = flag.String("hotpath-out", "", "write hotpath suite results as JSON to this file")
+		hotBaseline = flag.String("hotpath-baseline", "", "previously written hotpath JSON to compute speedups against")
+		hotRepeat   = flag.Int("hotpath-repeat", 3, "replay repetitions per hotpath workload (fastest wins)")
 	)
 	flag.Parse()
 	experiments.SetJobs(*jobs)
@@ -70,6 +74,7 @@ func main() {
 	run("fig11", func() error { return runFig11(*grid, parseInts(*micells), hier, *csvDir) })
 	run("predict", func() error { return runPredict(hier) })
 	run("static", runStatic)
+	run("hotpath", func() error { return runHotpath(hier, *hotRepeat, *hotOut, *hotBaseline) })
 }
 
 func runStatic() error {

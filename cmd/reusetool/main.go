@@ -10,8 +10,16 @@
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
 //	          [-static | -static-validate]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	reusetool -check prog.loop [more.loop ...]
 //	reusetool -check -workload gtc
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever the
+// invocation does (any mode), for profiling the per-access hot path on a
+// real workload:
+//
+//	reusetool -workload gtc -cpuprofile cpu.pprof > /dev/null
+//	go tool pprof cpu.pprof
 //
 // -check runs the static kernel checker instead of any analysis: it
 // parses each .loop file (or builds the -workload/-program) and reports
@@ -44,6 +52,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -165,7 +175,13 @@ func resolveMode(set map[string]bool) (string, error) {
 	return entry.mode, nil
 }
 
+// main delegates to run so the profile-flushing defers execute before the
+// process exits (os.Exit would skip them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	params := paramList{}
 	var (
 		workload = flag.String("workload", "fig1a", "built-in workload to analyze")
@@ -188,22 +204,59 @@ func main() {
 		staticVal = flag.Bool("static-validate", false, "run both pipelines and print a per-reference static-vs-dynamic miss comparison at -level")
 		check     = flag.Bool("check", false, "statically check .loop programs (positional args) or the -workload/-program, then exit")
 	)
+	var (
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+	)
 	flag.Var(params, "param", "workload parameter override, name=value (repeatable)")
 	flag.Parse()
 	_ = *static
 	_ = *staticVal
 	_ = *check
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	mode, err := resolveMode(set)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	if mode == modeCheck {
-		os.Exit(runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params))
+		return runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params)
 	}
 
 	hier := cache.ScaledItanium2()
@@ -215,9 +268,9 @@ func main() {
 	if mode == modeTrace {
 		if err := analyzeTraceFile(*fromTrace, *level, *share, *xmlOut, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var (
@@ -231,29 +284,29 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	if err := checkParams(prog, params); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	opts.Init = init
 
 	if mode == modeDumpProgram {
 		if err := os.WriteFile(*dumpProg, []byte(lang.Format(prog)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "program written to %s\n", *dumpProg)
-		return
+		return 0
 	}
 
 	if mode == modeValidate {
 		if err := staticValidate(prog, *level, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var res *core.Result
@@ -286,13 +339,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *saveTo != "" {
 		if err := saveDataset(res, prog.Name, *saveTo); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "saved reuse-distance data to %s\n", *saveTo)
 	}
@@ -300,10 +353,10 @@ func main() {
 	if *xmlOut {
 		if err := res.WriteXML(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
-		return
+		return 0
 	}
 	desc := ""
 	if mode == modeStatic {
@@ -312,13 +365,13 @@ func main() {
 	fmt.Printf("workload %s on %s%s\n\n", prog.Name, hier.Name, desc)
 	if err := res.WriteSummary(os.Stdout, *level, *share); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *cctOut {
 		fmt.Println()
 		if err := printCCT(*workload, *progFile, hier, *level, *share, params); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *compareTo != "" {
@@ -326,7 +379,7 @@ func main() {
 		other, otherInit, err := buildWorkload(*compareTo)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		otherRes, err := core.Pipeline{
 			Source:  core.DynamicSource{Prog: other, Init: otherInit},
@@ -334,13 +387,14 @@ func main() {
 		}.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := viewer.Compare(os.Stdout, res.Report, otherRes.Report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // traceRecorder opens the -dump-trace tee. finish flushes and closes it,

@@ -41,13 +41,25 @@ const (
 	leafMask = leafSize - 1
 )
 
+// leaf stores its entries as a structure of arrays: the time, the packed
+// (ref, scope) identity and the presence bit of an entry live in parallel
+// arrays rather than a single []Entry. The per-access path reads and writes
+// exactly one uint64 in each array, so the write combining and the cache
+// footprint are the same as three dense uint64 streams — under the
+// stencil/stream access patterns the same leaf lines stay hot across
+// thousands of consecutive accesses.
 type leaf struct {
 	present [leafSize / 64]uint64
-	entries [leafSize]Entry
+	times   [leafSize]uint64
+	meta    [leafSize]uint64 // ref in the high 32 bits, scope in the low 32
 }
 
-type mid struct {
-	leaves [midSize]*leaf
+func packMeta(ref trace.RefID, scope trace.ScopeID) uint64 {
+	return uint64(uint32(ref))<<32 | uint64(uint32(scope))
+}
+
+func unpackMeta(m uint64) (trace.RefID, trace.ScopeID) {
+	return trace.RefID(int32(m >> 32)), trace.ScopeID(int32(m))
 }
 
 // Radix is the production three-level block table. The zero value is not
@@ -55,36 +67,61 @@ type mid struct {
 type Radix struct {
 	top    map[uint64]*mid
 	blocks int
+	// One-entry leaf cache: consecutive accesses overwhelmingly land in the
+	// same 1024-block leaf, so the common case skips the top-level map
+	// lookup and both pointer chases entirely.
+	lastHi   uint64
+	lastLeaf *leaf
+}
+
+type mid struct {
+	leaves [midSize]*leaf
 }
 
 // NewRadix returns an empty three-level block table.
-func NewRadix() *Radix {
-	return &Radix{top: make(map[uint64]*mid)}
+func NewRadix() *Radix { return NewRadixHint(0) }
+
+// NewRadixHint returns an empty table presized for about blockHint distinct
+// blocks (0 means unknown). Only the sparse top level benefits from the
+// hint; lower levels are allocated on first touch either way.
+func NewRadixHint(blockHint int) *Radix {
+	topHint := blockHint >> (midBits + leafBits)
+	return &Radix{
+		top:    make(map[uint64]*mid, topHint+1),
+		lastHi: ^uint64(0),
+	}
 }
 
 // LookupStore implements Table.
 func (r *Radix) LookupStore(block uint64, e Entry) (Entry, bool) {
-	topIdx := block >> (midBits + leafBits)
-	m := r.top[topIdx]
-	if m == nil {
-		m = &mid{}
-		r.top[topIdx] = m
-	}
-	midIdx := (block >> leafBits) & midMask
-	lf := m.leaves[midIdx]
-	if lf == nil {
-		lf = &leaf{}
-		m.leaves[midIdx] = lf
+	hi := block >> leafBits
+	lf := r.lastLeaf
+	if hi != r.lastHi {
+		m := r.top[hi>>midBits]
+		if m == nil {
+			m = &mid{}
+			r.top[hi>>midBits] = m
+		}
+		lf = m.leaves[hi&midMask]
+		if lf == nil {
+			lf = &leaf{}
+			m.leaves[hi&midMask] = lf
+		}
+		r.lastHi, r.lastLeaf = hi, lf
 	}
 	leafIdx := block & leafMask
 	word, bit := leafIdx/64, uint(leafIdx%64)
-	prev := lf.entries[leafIdx]
+	var prev Entry
 	ok := lf.present[word]&(1<<bit) != 0
-	lf.entries[leafIdx] = e
-	if !ok {
+	if ok {
+		ref, scope := unpackMeta(lf.meta[leafIdx])
+		prev = Entry{Time: lf.times[leafIdx], Ref: ref, Scope: scope}
+	} else {
 		lf.present[word] |= 1 << bit
 		r.blocks++
 	}
+	lf.times[leafIdx] = e.Time
+	lf.meta[leafIdx] = packMeta(e.Ref, e.Scope)
 	return prev, ok
 }
 

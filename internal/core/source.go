@@ -142,9 +142,17 @@ func finalized(prog *ir.Program, info *ir.Info) (*ir.Info, error) {
 }
 
 // newCollector builds the per-granularity engine set for the target
-// hierarchy.
-func (p Pipeline) newCollector(info *ir.Info) *reusedist.Collector {
+// hierarchy. footprint (bytes spanned by the laid-out arrays, 0 if
+// unknown) and the finalized IR feed the engines' capacity hints, so the
+// block tables, tree windows and per-ref/per-scope tables are sized once
+// up front instead of growing on the per-access path.
+func (p Pipeline) newCollector(info *ir.Info, footprint uint64) *reusedist.Collector {
 	base := reusedist.Config{HistRes: p.HistRes, UseFenwick: p.UseFenwick}
+	base.Hints.FootprintBytes = footprint
+	if info != nil {
+		base.Hints.Refs = len(info.Refs)
+		base.Hints.Scopes = info.Scopes.Len()
+	}
 	if p.TrackContext && info != nil {
 		tree := info.Scopes
 		base.ContextFilter = func(s trace.ScopeID) bool {
@@ -203,7 +211,11 @@ func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
 
 	var col *reusedist.Collector
 	if !p.SimulateOnly {
-		col = p.newCollector(info)
+		var footprint uint64
+		if m, err := interp.Layout(info, p.Params); err == nil {
+			footprint = m.DataFootprint()
+		}
+		col = p.newCollector(info, footprint)
 	}
 	var sim *cachesim.Sim
 	if p.Simulate || p.SimulateOnly {
@@ -315,7 +327,7 @@ func (p Pipeline) runTrace(s TraceSource) (*Result, error) {
 		return nil, fmt.Errorf("core: trace source has no reader")
 	}
 	hier := p.hierarchy()
-	col := p.newCollector(nil)
+	col := p.newCollector(nil, 0)
 	var sim *cachesim.Sim
 	if p.Simulate || p.SimulateOnly {
 		sim = cachesim.New(hier)

@@ -5,16 +5,25 @@
 // the usual trade-off for reuse-distance tools: short distances (the ones
 // near small cache capacities) are kept exact, long ones are compressed.
 // Section II of the paper notes that collecting one histogram per
-// (source scope, carrying scope) pair yields "more but smaller histograms";
-// the representation here stores bins sparsely so an almost-single-distance
-// pattern costs a handful of words.
+// (source scope, carrying scope) pair yields "more but smaller histograms".
+//
+// The bucket store is a growable flat []uint64 indexed by bin number
+// (linear bins first, then octave*sub + sub-bucket). The per-access Add is
+// the hottest function of the whole toolkit — every reuse arc of every
+// engine lands here — so the flat layout buys an indexed add with no
+// hashing, and the small-distance fast path skips the log2 entirely. The
+// slice grows lazily to the highest touched bin, so an
+// almost-single-distance pattern still costs only a few hundred bytes
+// (bin indices grow logarithmically with distance). The gob wire format
+// stays sparse: occupied (bin, count) pairs in increasing bin order (see
+// gob.go), which is also byte-deterministic, unlike the map encoding it
+// replaces.
 package histo
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 	"strings"
 )
 
@@ -31,8 +40,9 @@ const Cold = math.MaxUint64
 // Histogram counts reuse distances. The zero value of H is NOT ready to
 // use; construct with New or NewRes.
 type Histogram struct {
-	sub    uint64 // sub-buckets per octave above linearMax; power of two
-	counts map[uint32]uint64
+	sub    uint64   // sub-buckets per octave above linearMax; power of two
+	counts []uint64 // flat bin store, indexed by bin number
+	occ    int      // occupied (non-zero) bins
 	cold   uint64
 	total  uint64 // finite-distance samples only
 	maxD   uint64
@@ -51,7 +61,7 @@ func NewRes(res int) *Histogram {
 	if res < 1 || res > linearMax || res&(res-1) != 0 {
 		panic(fmt.Sprintf("histo: invalid resolution %d", res))
 	}
-	return &Histogram{sub: uint64(res), counts: make(map[uint32]uint64)}
+	return &Histogram{sub: uint64(res)}
 }
 
 // Resolution reports the sub-buckets per octave.
@@ -62,6 +72,11 @@ func (h *Histogram) binIndex(d uint64) uint32 {
 	if d < linearMax {
 		return uint32(d)
 	}
+	return h.logIndex(d)
+}
+
+// logIndex maps a finite distance >= linearMax to its logarithmic bin.
+func (h *Histogram) logIndex(d uint64) uint32 {
 	o := uint(bits.Len64(d) - 1) // 2^o <= d < 2^(o+1)
 	step := uint64(1) << o / h.sub
 	k := (d - uint64(1)<<o) / step
@@ -82,7 +97,23 @@ func (h *Histogram) binBounds(idx uint32) (lo, hi uint64) {
 }
 
 // Add records one sample of distance d. Pass Cold for compulsory accesses.
-func (h *Histogram) Add(d uint64) { h.AddN(d, 1) }
+// This is the per-reuse-arc hot path: small distances (the common case on
+// stencil/stream reuse) index the flat store directly without the log2.
+func (h *Histogram) Add(d uint64) {
+	if d < linearMax && int(d) < len(h.counts) {
+		// Fast path: linear bin already allocated — one indexed add.
+		if h.counts[d] == 0 {
+			h.occ++
+		}
+		h.counts[d]++
+		h.total++
+		if d > h.maxD {
+			h.maxD = d
+		}
+		return
+	}
+	h.AddN(d, 1)
+}
 
 // AddN records n samples of distance d.
 func (h *Histogram) AddN(d uint64, n uint64) {
@@ -93,11 +124,34 @@ func (h *Histogram) AddN(d uint64, n uint64) {
 		h.cold += n
 		return
 	}
-	h.counts[h.binIndex(d)] += n
+	idx := h.binIndex(d)
+	if int(idx) >= len(h.counts) {
+		h.grow(int(idx))
+	}
+	if h.counts[idx] == 0 {
+		h.occ++
+	}
+	h.counts[idx] += n
 	h.total += n
 	if d > h.maxD {
 		h.maxD = d
 	}
+}
+
+// grow extends the flat store so bin idx is addressable. Capacity is
+// rounded up so repeated growth amortizes; bin indices grow
+// logarithmically with distance, so the store stays small.
+func (h *Histogram) grow(idx int) {
+	newLen := 2 * len(h.counts)
+	if newLen < 64 {
+		newLen = 64
+	}
+	if newLen <= idx {
+		newLen = idx + 1
+	}
+	grown := make([]uint64, newLen)
+	copy(grown, h.counts)
+	h.counts = grown
 }
 
 // Total reports the number of finite-distance samples.
@@ -110,7 +164,7 @@ func (h *Histogram) Cold() uint64 { return h.cold }
 func (h *Histogram) Max() uint64 { return h.maxD }
 
 // Bins reports the number of occupied bins.
-func (h *Histogram) Bins() int { return len(h.counts) }
+func (h *Histogram) Bins() int { return h.occ }
 
 // Bin is one occupied histogram bin: count samples whose distances fall in
 // the inclusive range [Lo, Hi].
@@ -121,14 +175,12 @@ type Bin struct {
 
 // Each calls f for every occupied bin in increasing distance order.
 func (h *Histogram) Each(f func(Bin)) {
-	idxs := make([]uint32, 0, len(h.counts))
-	for idx := range h.counts {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
-		lo, hi := h.binBounds(idx)
-		f(Bin{Lo: lo, Hi: hi, Count: h.counts[idx]})
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.binBounds(uint32(idx))
+		f(Bin{Lo: lo, Hi: hi, Count: c})
 	}
 }
 
@@ -140,7 +192,16 @@ func (h *Histogram) Merge(other *Histogram) {
 	if h.sub != other.sub {
 		panic("histo: merging histograms of different resolutions")
 	}
+	if len(other.counts) > len(h.counts) {
+		h.grow(len(other.counts) - 1)
+	}
 	for idx, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		if h.counts[idx] == 0 {
+			h.occ++
+		}
 		h.counts[idx] += c
 	}
 	h.cold += other.cold
@@ -152,10 +213,11 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Clone returns a deep copy.
 func (h *Histogram) Clone() *Histogram {
-	c := &Histogram{sub: h.sub, counts: make(map[uint32]uint64, len(h.counts)),
+	c := &Histogram{sub: h.sub, occ: h.occ,
 		cold: h.cold, total: h.total, maxD: h.maxD}
-	for k, v := range h.counts {
-		c.counts[k] = v
+	if len(h.counts) > 0 {
+		c.counts = make([]uint64, len(h.counts))
+		copy(c.counts, h.counts)
 	}
 	return c
 }
@@ -166,7 +228,10 @@ func (h *Histogram) Clone() *Histogram {
 func (h *Histogram) CountAtLeast(threshold uint64) float64 {
 	var sum float64
 	for idx, c := range h.counts {
-		lo, hi := h.binBounds(idx)
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.binBounds(uint32(idx))
 		switch {
 		case lo >= threshold:
 			sum += float64(c)
@@ -221,7 +286,10 @@ func (h *Histogram) Mean() float64 {
 	}
 	var sum float64
 	for idx, c := range h.counts {
-		lo, hi := h.binBounds(idx)
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.binBounds(uint32(idx))
 		mid := float64(lo) + float64(hi-lo)/2
 		sum += mid * float64(c)
 	}

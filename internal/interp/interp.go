@@ -406,6 +406,28 @@ func (m *Machine) Param(name string) int64 {
 // ArrayLen reports the total element count of a laid-out array.
 func (m *Machine) ArrayLen(a *ir.Array) int64 { return m.arrays[a.Pos()].total }
 
+// DataFootprint reports the number of bytes spanned by the laid-out arrays
+// (from the lowest base address to the highest end address, including any
+// inter-array padding). Analysis engines use it to presize structures that
+// scale with the number of distinct memory blocks.
+func (m *Machine) DataFootprint() uint64 {
+	var lo, hi uint64
+	for i := range m.arrays {
+		st := &m.arrays[i]
+		end := st.base + uint64(st.total)*uint64(m.info.Prog.Arrays[i].Elem)
+		if i == 0 || st.base < lo {
+			lo = st.base
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // SetData stores v at flat element index i of a Data array (column-major
 // flattening: first subscript fastest).
 func (m *Machine) SetData(a *ir.Array, i int64, v int64) {

@@ -110,11 +110,13 @@ func (f *Fenwick) CountGreater(t uint64) uint64 {
 	return uint64(f.n) - uint64(f.prefix(slot))
 }
 
-// compact re-packs live slots to the front, growing the window if more than
-// half of it is live.
+// compact re-packs live slots to the front, growing the window while more
+// than half of it is live. Growth is explicit and unbounded — a live set of
+// any size (in particular one crossing the historical 1<<16 default window)
+// is re-homed without slot exhaustion or mis-counting.
 func (f *Fenwick) compact() {
 	window := len(f.live)
-	if f.n*2 > window {
+	for f.n*2 > window {
 		window *= 2
 	}
 	newLive := make([]bool, window)

@@ -39,6 +39,7 @@ func implementations() map[string]func() Tree {
 	return map[string]func() Tree{
 		"AVL":     func() Tree { return NewAVL(0) },
 		"Fenwick": func() Tree { return NewFenwick(16) },
+		"Epoch":   func() Tree { return NewEpoch(16) },
 	}
 }
 
@@ -250,6 +251,129 @@ func TestFenwickCompaction(t *testing.T) {
 	}
 }
 
+// TestAllKindsAgreeWithOracle drives AVL, the map-backed Fenwick and the
+// epoch-compacted Fenwick through the same random insert/delete/count
+// interleavings and checks every query against the brute-force oracle. The
+// three structures are interchangeable inside the engine (Config.Tree), so
+// any divergence here would silently change reported reuse distances.
+func TestAllKindsAgreeWithOracle(t *testing.T) {
+	kinds := []Kind{KindEpoch, KindAVL, KindFenwick}
+	f := func(seed int64, nOps uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trees := make([]Tree, len(kinds))
+		for i, k := range kinds {
+			trees[i] = NewTree(k, 0)
+		}
+		ref := &brute{}
+		now := uint64(0)
+		inserted := []uint64{}
+		for i := 0; i < int(nOps)%2000+1; i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert, sometimes with a clock gap to break affine runs
+				now += uint64(rng.Intn(3) + 1)
+				for _, tr := range trees {
+					tr.Insert(now)
+				}
+				ref.Insert(now)
+				inserted = append(inserted, now)
+			case 2: // delete a random live key
+				if len(ref.keys) > 0 {
+					k := ref.keys[rng.Intn(len(ref.keys))]
+					for _, tr := range trees {
+						tr.Delete(k)
+					}
+					ref.Delete(k)
+				}
+			default: // query any previously seen (possibly deleted) key
+				if len(inserted) > 0 {
+					k := inserted[rng.Intn(len(inserted))]
+					want := ref.CountGreater(k)
+					for _, tr := range trees {
+						if got := tr.CountGreater(k); got != want {
+							return false
+						}
+					}
+				}
+			}
+			for _, tr := range trees {
+				if tr.Len() != ref.Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFenwickWindowBoundaryGrowth pushes the live set past the historical
+// 1<<16 default window so compaction must grow the slot space. Before growth
+// was made explicit this was the regime where a full window of live slots
+// could recycle slots incorrectly.
+func TestFenwickWindowBoundaryGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large live set; skipped in -short")
+	}
+	const n = 1<<16 + 5000
+	for name, tr := range map[string]Tree{
+		"Fenwick": NewFenwick(1 << 16),
+		"Epoch":   NewEpoch(1 << 16),
+	} {
+		for i := uint64(1); i <= n; i++ {
+			tr.Insert(i)
+		}
+		if tr.Len() != n {
+			t.Fatalf("%s: Len = %d, want %d", name, tr.Len(), n)
+		}
+		for _, q := range []uint64{1, 255, 1 << 15, 1 << 16, 1<<16 + 1, n - 1, n} {
+			if got, want := tr.CountGreater(q), uint64(n-q); got != want {
+				t.Errorf("%s: CountGreater(%d) = %d, want %d", name, q, got, want)
+			}
+		}
+		// Churn across the boundary: delete the older half, keep counting.
+		for i := uint64(1); i <= n/2; i++ {
+			tr.Delete(i)
+		}
+		if got, want := tr.CountGreater(n/2), uint64(n-n/2); got != want {
+			t.Errorf("%s: after deletes CountGreater(%d) = %d, want %d", name, n/2, got, want)
+		}
+		if got, want := tr.CountGreater(0), uint64(n-n/2); got != want {
+			t.Errorf("%s: after deletes CountGreater(0) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestEpochCompactionChurn mirrors TestFenwickCompaction for the epoch tree,
+// with clock gaps mixed in so compaction interacts with broken affine runs.
+func TestEpochCompactionChurn(t *testing.T) {
+	e := NewEpoch(16)
+	ref := &brute{}
+	live := []uint64{}
+	now := uint64(0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		now += uint64(rng.Intn(2) + 1)
+		e.Insert(now)
+		ref.Insert(now)
+		live = append(live, now)
+		if len(live) > 24 {
+			j := rng.Intn(len(live))
+			e.Delete(live[j])
+			ref.Delete(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%53 == 0 && len(live) > 0 {
+			k := live[rng.Intn(len(live))]
+			if got, want := e.CountGreater(k), ref.CountGreater(k); got != want {
+				t.Fatalf("after %d ops: CountGreater(%d) = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+}
+
 func TestFenwickAbsentKeyQuery(t *testing.T) {
 	f := NewFenwick(16)
 	for _, k := range []uint64{10, 20, 30, 40} {
@@ -302,4 +426,7 @@ func benchTree(b *testing.B, mk func() Tree, blocks int) {
 func BenchmarkAVL64KBlocks(b *testing.B) { benchTree(b, func() Tree { return NewAVL(0) }, 65536) }
 func BenchmarkFenwick64KBlocks(b *testing.B) {
 	benchTree(b, func() Tree { return NewFenwick(0) }, 65536)
+}
+func BenchmarkEpoch64KBlocks(b *testing.B) {
+	benchTree(b, func() Tree { return NewEpoch(0) }, 65536)
 }

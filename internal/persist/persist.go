@@ -11,14 +11,18 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"reusetool/internal/interp"
 	"reusetool/internal/reusedist"
 	"reusetool/internal/trace"
 )
 
-// FormatVersion identifies the on-disk encoding.
-const FormatVersion = 1
+// FormatVersion identifies the on-disk encoding. Version 2 replaces the
+// map-valued fields of version 1 with sorted slices, making the emitted
+// bytes a pure function of the collected data (gob serializes maps in
+// random iteration order); version-1 streams still load.
+const FormatVersion = 2
 
 // Dataset is the persisted form of a collector's measurements.
 type Dataset struct {
@@ -73,22 +77,119 @@ func (d *Dataset) Collector() *reusedist.Collector {
 	return col
 }
 
-// Save writes the dataset to w in gob format.
+// refWire is the version-2 serialized form of one reference: patterns as a
+// slice in (Source, Carrying, Context) key order instead of a map, so the
+// byte stream is deterministic.
+type refWire struct {
+	Ref   trace.RefID
+	Scope trace.ScopeID
+	Pats  []*reusedist.Pattern
+	Total uint64
+	Cold  uint64
+}
+
+// datasetWire is the on-disk representation. RefsV2/TripIDs/TripVals carry
+// the deterministic version-2 encoding; Refs and Trips are the version-1
+// map-based fields, populated only when decoding old streams.
+type datasetWire struct {
+	Version  int
+	Program  string
+	Grans    []reusedist.Granularity
+	RefsV2   [][]refWire
+	Clocks   []uint64
+	TripIDs  []trace.ScopeID
+	TripVals []interp.TripStat
+
+	Refs  [][]*reusedist.RefData            // legacy (version 1) only
+	Trips map[trace.ScopeID]interp.TripStat // legacy (version 1) only
+}
+
+// Save writes the dataset to w in gob format. The emitted bytes are
+// deterministic: saving the same collected data twice produces identical
+// files, so dataset artifacts can be content-addressed and diffed.
 func Save(w io.Writer, d *Dataset) error {
-	if err := gob.NewEncoder(w).Encode(d); err != nil {
+	wire := datasetWire{
+		Version: d.Version,
+		Program: d.Program,
+		Grans:   d.Grans,
+		Clocks:  d.Clocks,
+	}
+	for _, refs := range d.Refs {
+		rw := make([]refWire, 0, len(refs))
+		for _, rd := range refs {
+			if rd == nil {
+				continue
+			}
+			rw = append(rw, refWire{
+				Ref:   rd.Ref,
+				Scope: rd.Scope,
+				Pats:  rd.PatternsByKey(),
+				Total: rd.Total,
+				Cold:  rd.Cold,
+			})
+		}
+		wire.RefsV2 = append(wire.RefsV2, rw)
+	}
+	if len(d.Trips) > 0 {
+		wire.TripIDs = make([]trace.ScopeID, 0, len(d.Trips))
+		for id := range d.Trips {
+			wire.TripIDs = append(wire.TripIDs, id)
+		}
+		sort.Slice(wire.TripIDs, func(i, j int) bool { return wire.TripIDs[i] < wire.TripIDs[j] })
+		wire.TripVals = make([]interp.TripStat, 0, len(wire.TripIDs))
+		for _, id := range wire.TripIDs {
+			wire.TripVals = append(wire.TripVals, d.Trips[id])
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
 		return fmt.Errorf("persist: encode: %w", err)
 	}
 	return nil
 }
 
-// Load reads a dataset written by Save.
+// Load reads a dataset written by Save, accepting both the current
+// deterministic format and version-1 streams.
 func Load(r io.Reader) (*Dataset, error) {
-	var d Dataset
-	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+	var w datasetWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
-	if d.Version != FormatVersion {
-		return nil, fmt.Errorf("persist: unsupported format version %d (want %d)", d.Version, FormatVersion)
+	if w.Version != 1 && w.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d (want <= %d)", w.Version, FormatVersion)
 	}
-	return &d, nil
+	if len(w.TripIDs) != len(w.TripVals) {
+		return nil, fmt.Errorf("persist: corrupt stream: %d trip ids, %d trip stats", len(w.TripIDs), len(w.TripVals))
+	}
+	d := &Dataset{
+		Version: w.Version,
+		Program: w.Program,
+		Grans:   w.Grans,
+		Clocks:  w.Clocks,
+		Refs:    w.Refs,
+		Trips:   w.Trips,
+	}
+	for _, rw := range w.RefsV2 {
+		refs := make([]*reusedist.RefData, 0, len(rw))
+		for _, r := range rw {
+			rd := &reusedist.RefData{
+				Ref:      r.Ref,
+				Scope:    r.Scope,
+				Patterns: make(map[reusedist.PatternKey]*reusedist.Pattern, len(r.Pats)),
+				Total:    r.Total,
+				Cold:     r.Cold,
+			}
+			for _, p := range r.Pats {
+				rd.Patterns[p.Key] = p
+			}
+			refs = append(refs, rd)
+		}
+		d.Refs = append(d.Refs, refs)
+	}
+	if len(w.TripIDs) > 0 {
+		d.Trips = make(map[trace.ScopeID]interp.TripStat, len(w.TripIDs))
+		for i, id := range w.TripIDs {
+			d.Trips[id] = w.TripVals[i]
+		}
+	}
+	return d, nil
 }

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"reusetool/internal/cache"
@@ -9,6 +10,7 @@ import (
 	"reusetool/internal/metrics"
 	"reusetool/internal/reusedist"
 	"reusetool/internal/staticanalysis"
+	"reusetool/internal/trace"
 	"reusetool/internal/workloads"
 )
 
@@ -191,5 +193,104 @@ func TestRestoredEngineQueries(t *testing.T) {
 		if eng.DistinctBlocks() != 0 {
 			t.Error("restored engine should report 0 distinct blocks")
 		}
+	}
+}
+
+// TestSaveBytesReproducible is the determinism contract: saving the same
+// collected data must produce byte-identical files, run to run and across
+// a save/load/save round trip. Before the sorted wire formats (histogram
+// bins, patterns, trip stats) gob's random map iteration order made every
+// file differ.
+func TestSaveBytesReproducible(t *testing.T) {
+	col, _, _ := collect(t)
+	trips := map[trace.ScopeID]interp.TripStat{
+		3: {Execs: 2, Iters: 128},
+		1: {Execs: 1, Iters: 64},
+		7: {Execs: 4, Iters: 16},
+	}
+	snap := Snapshot(col, "stencil", trips)
+
+	var a, b bytes.Buffer
+	if err := Save(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same snapshot produced different bytes")
+	}
+
+	// Re-collect from scratch: identical input data must still produce
+	// identical bytes (no dependence on allocation or insertion history).
+	col2, _, _ := collect(t)
+	var c bytes.Buffer
+	if err := Save(&c, Snapshot(col2, "stencil", trips)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("saves of independently collected identical data differ")
+	}
+
+	// Save -> Load -> Save must be a fixed point.
+	d, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e bytes.Buffer
+	if err := Save(&e, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), e.Bytes()) {
+		t.Fatal("save/load/save changed the bytes")
+	}
+}
+
+// legacyDataset mirrors the version-1 on-disk layout (map-valued fields,
+// encoded directly) so the decoder's backward compatibility is tested
+// against a faithfully reconstructed old stream.
+type legacyDataset struct {
+	Version int
+	Program string
+	Grans   []reusedist.Granularity
+	Refs    [][]*reusedist.RefData
+	Clocks  []uint64
+	Trips   map[trace.ScopeID]interp.TripStat
+}
+
+func TestLoadVersion1Stream(t *testing.T) {
+	col, _, _ := collect(t)
+	snap := Snapshot(col, "stencil", map[trace.ScopeID]interp.TripStat{2: {Execs: 1, Iters: 8}})
+	legacy := legacyDataset{
+		Version: 1,
+		Program: snap.Program,
+		Grans:   snap.Grans,
+		Refs:    snap.Refs,
+		Clocks:  snap.Clocks,
+		Trips:   snap.Trips,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("version-1 stream failed to load: %v", err)
+	}
+	if d.Version != 1 || d.Program != "stencil" {
+		t.Errorf("version = %d program = %q", d.Version, d.Program)
+	}
+	if len(d.Refs) != len(snap.Refs) {
+		t.Fatalf("granularities = %d, want %d", len(d.Refs), len(snap.Refs))
+	}
+	rcol := d.Collector()
+	for i, eng := range rcol.Engines {
+		orig := col.Engines[i]
+		if eng.TotalCold() != orig.TotalCold() || eng.Clock() != orig.Clock() {
+			t.Errorf("engine %d: cold/clock mismatch after legacy load", i)
+		}
+	}
+	if d.Trips[2].Iters != 8 {
+		t.Errorf("trips not recovered: %+v", d.Trips)
 	}
 }

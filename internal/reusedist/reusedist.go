@@ -69,6 +69,18 @@ type RefData struct {
 	// (compulsory) ones.
 	Total uint64
 	Cold  uint64
+
+	// pats is the dense intern table of this reference's patterns: the
+	// per-ref pattern ID is simply the slice index. References have few
+	// patterns (one per distinct source/carrying pair), so a pattern-cache
+	// miss resolves by scanning this slice instead of hashing a 24-byte
+	// PatternKey; the Patterns map stays canonical for all readers and is
+	// only consulted once pats outgrows patScanMax.
+	pats []*Pattern
+	// last is a one-entry pattern cache: consecutive reuse arcs of a
+	// reference overwhelmingly repeat the same (source, carrying) pair, so
+	// the common case is a single 24-byte key compare.
+	last *Pattern
 }
 
 // ColdMissAt reports cold accesses; compulsory misses are misses at every
@@ -116,9 +128,18 @@ type Config struct {
 	// HistRes is the histogram resolution (sub-buckets per octave);
 	// 0 means histo.DefaultResolution.
 	HistRes int
-	// UseFenwick selects the Fenwick order-statistic structure instead of
-	// the AVL tree (ablation).
+	// Tree selects the order-statistic structure. The zero value is
+	// ostree.KindEpoch, the map-free epoch-compacted binary indexed tree;
+	// KindAVL (the paper's structure) and KindFenwick remain available for
+	// ablation. All three are exact, so the choice never changes results.
+	Tree ostree.Kind
+	// UseFenwick selects the Fenwick order-statistic structure.
+	// Deprecated: set Tree to ostree.KindFenwick instead; kept for
+	// existing callers and overrides Tree when set.
 	UseFenwick bool
+	// Hints presizes the engine's data structures; zero values mean
+	// unknown and never affect results, only allocation behaviour.
+	Hints CapacityHints
 	// ContextFilter, when non-nil, enables calling-context tracking:
 	// scopes for which it returns true (typically routines) extend the
 	// context hash, and patterns are collected separately per context.
@@ -126,12 +147,30 @@ type Config struct {
 	ContextFilter func(trace.ScopeID) bool
 }
 
+// CapacityHints estimates the sizes the engine's structures will reach, so
+// they can be allocated once up front instead of growing incrementally on
+// the hot path. All fields are optional; core.Pipeline fills them from the
+// finalized IR and the array layout.
+type CapacityHints struct {
+	// Refs is the number of static references in the program
+	// (len(ir.Info.Refs)); sizes the per-reference table.
+	Refs int
+	// Scopes is the number of static scopes (scope.Tree.Len()); sizes the
+	// per-scope access counters.
+	Scopes int
+	// FootprintBytes is the total data footprint of the laid-out arrays;
+	// each engine derives its distinct-block estimate as
+	// FootprintBytes >> BlockBits, sizing the block table and the
+	// order-statistic tree window.
+	FootprintBytes uint64
+}
+
 // Engine is the online reuse-distance collector. It implements
 // trace.Handler. Create with New.
 type Engine struct {
 	cfg   Config
 	clock uint64
-	table blocktable.Table
+	table *blocktable.Radix
 	tree  ostree.Tree
 	stack scope.Stack
 	refs  []*RefData // indexed by RefID, nil until first access
@@ -142,7 +181,32 @@ type Engine struct {
 	// scopeAccesses counts block accesses per innermost static scope,
 	// enabling per-scope miss rates.
 	scopeAccesses []uint64
+
+	// Sorted-threshold view of cfg.Thresholds: sortedTh is ascending,
+	// thPerm maps a sorted position back to the configured index, and
+	// minTh (MaxUint64 when no thresholds are configured) gates the whole
+	// miss-counting step — reuses shorter than the smallest capacity, the
+	// overwhelming majority on tiled and streaming code, skip it entirely.
+	sortedTh []uint64
+	thPerm   []int
+	minTh    uint64
+
+	// Slab allocators for the per-reference metadata, so cold-path
+	// creation of RefData/Pattern values does not hit the general
+	// allocator once per object.
+	refSlab  []RefData
+	patSlab  []Pattern
+	missSlab []uint64
 }
+
+// patScanMax bounds the linear scan of RefData.pats; beyond it the pattern
+// lookup falls back to the canonical map.
+const patScanMax = 16
+
+// slabSize is the chunk size of the RefData/Pattern slab allocators.
+const slabSize = 64
+
+var emptyMiss = []uint64{}
 
 // New returns an Engine for the given configuration.
 func New(cfg Config) *Engine {
@@ -153,13 +217,42 @@ func New(cfg Config) *Engine {
 	if res == 0 {
 		res = histo.DefaultResolution
 	}
-	var tree ostree.Tree
+	kind := cfg.Tree
 	if cfg.UseFenwick {
-		tree = ostree.NewFenwick(1 << 16)
-	} else {
-		tree = ostree.NewAVL(1 << 12)
+		kind = ostree.KindFenwick
 	}
-	return &Engine{cfg: cfg, table: blocktable.NewRadix(), tree: tree, res: res}
+	blocks := 0
+	if cfg.Hints.FootprintBytes > 0 {
+		blocks = int(cfg.Hints.FootprintBytes >> cfg.BlockBits)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		table: blocktable.NewRadixHint(blocks),
+		tree:  ostree.NewTree(kind, blocks),
+		res:   res,
+		minTh: histo.Cold, // MaxUint64: no threshold ever reached
+	}
+	if n := len(cfg.Thresholds); n > 0 {
+		e.thPerm = make([]int, n)
+		for i := range e.thPerm {
+			e.thPerm[i] = i
+		}
+		sort.SliceStable(e.thPerm, func(a, b int) bool {
+			return cfg.Thresholds[e.thPerm[a]] < cfg.Thresholds[e.thPerm[b]]
+		})
+		e.sortedTh = make([]uint64, n)
+		for i, pi := range e.thPerm {
+			e.sortedTh[i] = cfg.Thresholds[pi]
+		}
+		e.minTh = e.sortedTh[0]
+	}
+	if cfg.Hints.Refs > 0 {
+		e.refs = make([]*RefData, 0, cfg.Hints.Refs)
+	}
+	if cfg.Hints.Scopes > 0 {
+		e.scopeAccesses = make([]uint64, cfg.Hints.Scopes)
+	}
+	return e
 }
 
 // Clock reports the current logical access time (number of block accesses
@@ -208,16 +301,15 @@ func (e *Engine) context() uint64 {
 // Access implements trace.Handler. An access spanning multiple blocks is
 // processed as one access per touched block.
 func (e *Engine) Access(ref trace.RefID, addr uint64, size uint32, _ bool) {
-	bs := uint64(1) << e.cfg.BlockBits
-	first := addr >> e.cfg.BlockBits
-	last := (addr + uint64(size) - 1) >> e.cfg.BlockBits
+	bb := e.cfg.BlockBits
+	first := addr >> bb
+	last := (addr + uint64(size) - 1) >> bb
 	if size == 0 {
 		last = first
 	}
 	for b := first; b <= last; b++ {
 		e.accessBlock(ref, b)
 	}
-	_ = bs
 }
 
 func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
@@ -227,8 +319,8 @@ func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
 	rd := e.refData(ref, cur)
 	rd.Total++
 	if cur >= 0 {
-		for int(cur) >= len(e.scopeAccesses) {
-			e.scopeAccesses = append(e.scopeAccesses, 0)
+		if int(cur) >= len(e.scopeAccesses) {
+			e.growScopeAccesses(int(cur))
 		}
 		e.scopeAccesses[cur]++
 	}
@@ -244,29 +336,107 @@ func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
 	e.tree.Insert(now)
 
 	key := PatternKey{Source: prev.Scope, Carrying: e.stack.Carrying(prev.Time), Context: e.context()}
-	p := rd.Patterns[key]
-	if p == nil {
-		p = &Pattern{Key: key, Hist: histo.NewRes(e.res), MissAt: make([]uint64, len(e.cfg.Thresholds))}
-		rd.Patterns[key] = p
+	p := rd.last
+	if p == nil || p.Key != key {
+		p = rd.pattern(key, e)
+		rd.last = p
 	}
 	p.Hist.Add(dist)
 	p.Count++
-	for i, th := range e.cfg.Thresholds {
-		if dist >= th {
+	if dist >= e.minTh {
+		// Binary search the ascending threshold list for how many
+		// capacities this distance misses at, then bump those counters via
+		// the sorted→configured permutation.
+		th := e.sortedTh
+		lo, hi := 1, len(th) // sortedTh[0] <= dist already established
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if th[mid] <= dist {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for _, i := range e.thPerm[:lo] {
 			p.MissAt[i]++
 		}
 	}
 }
 
+// growScopeAccesses extends the per-scope counters to cover scope index i;
+// kept out of line so the hot path carries only the bounds check.
+func (e *Engine) growScopeAccesses(i int) {
+	for i >= len(e.scopeAccesses) {
+		e.scopeAccesses = append(e.scopeAccesses, 0)
+	}
+}
+
+// pattern interns key for this reference: scan the dense pattern table (or
+// consult the canonical map once the table is large), creating the pattern
+// from the engine's slabs on first sight.
+func (rd *RefData) pattern(key PatternKey, e *Engine) *Pattern {
+	if len(rd.pats) > patScanMax {
+		if p := rd.Patterns[key]; p != nil {
+			return p
+		}
+	} else {
+		for _, p := range rd.pats {
+			if p.Key == key {
+				return p
+			}
+		}
+	}
+	p := e.newPattern(key)
+	rd.pats = append(rd.pats, p)
+	rd.Patterns[key] = p
+	return p
+}
+
+// newPattern allocates a pattern from the engine's slabs.
+func (e *Engine) newPattern(key PatternKey) *Pattern {
+	if len(e.patSlab) == 0 {
+		e.patSlab = make([]Pattern, slabSize)
+	}
+	p := &e.patSlab[0]
+	e.patSlab = e.patSlab[1:]
+	p.Key = key
+	p.Hist = histo.NewRes(e.res)
+	if k := len(e.cfg.Thresholds); k > 0 {
+		if len(e.missSlab) < k {
+			e.missSlab = make([]uint64, k*slabSize)
+		}
+		p.MissAt = e.missSlab[:k:k]
+		e.missSlab = e.missSlab[k:]
+	} else {
+		p.MissAt = emptyMiss
+	}
+	return p
+}
+
 func (e *Engine) refData(ref trace.RefID, cur trace.ScopeID) *RefData {
+	if int(ref) < len(e.refs) {
+		if rd := e.refs[ref]; rd != nil {
+			return rd
+		}
+	}
+	return e.newRefData(ref, cur)
+}
+
+// newRefData grows the per-reference table and allocates a RefData from the
+// engine's slab; cold path of refData.
+func (e *Engine) newRefData(ref trace.RefID, cur trace.ScopeID) *RefData {
 	for int(ref) >= len(e.refs) {
 		e.refs = append(e.refs, nil)
 	}
-	rd := e.refs[ref]
-	if rd == nil {
-		rd = &RefData{Ref: ref, Scope: cur, Patterns: make(map[PatternKey]*Pattern)}
-		e.refs[ref] = rd
+	if len(e.refSlab) == 0 {
+		e.refSlab = make([]RefData, slabSize)
 	}
+	rd := &e.refSlab[0]
+	e.refSlab = e.refSlab[1:]
+	rd.Ref = ref
+	rd.Scope = cur
+	rd.Patterns = make(map[PatternKey]*Pattern)
+	e.refs[ref] = rd
 	return rd
 }
 

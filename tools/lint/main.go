@@ -1,10 +1,19 @@
-// Command lint is a repository-local static pass over the Go sources:
-// report-building code must not print or write while ranging directly
+// Command lint is a repository-local static pass over the Go sources
+// enforcing two rules:
+//
+// Report-building code must not print or write while ranging directly
 // over the metric maps (MissesByArray, CarriedByScope, ...), because Go
 // map iteration order is random and the reports would become
 // non-deterministic. The sanctioned pattern is to collect the keys,
 // sort them, and iterate the slice; pure accumulation (summing values,
 // collecting keys for a later sort) is allowed.
+//
+// The reuse-distance per-access path (Engine.Access/accessBlock,
+// Histogram.Add/AddN, the block tables' LookupStore) must not allocate
+// maps: these functions run once per block access of the trace, and the
+// hot-path overhaul removed all hashing from them. A make(map...) or a
+// map literal inside them is a performance regression; allocate in a
+// constructor or an explicitly cold helper instead.
 //
 // Usage:
 //
@@ -30,6 +39,15 @@ import (
 // metricMapField matches the per-scope and per-array metric maps of
 // internal/metrics that report builders consume.
 var metricMapField = regexp.MustCompile(`^(Misses|FragMisses|Carried)By(Array|Scope)$`)
+
+// hotPathFuncs lists the per-access-path methods (receiver type -> method
+// names) in which map allocations are rejected.
+var hotPathFuncs = map[string]map[string]bool{
+	"Engine":    {"Access": true, "accessBlock": true},
+	"Histogram": {"Add": true, "AddN": true},
+	"Radix":     {"LookupStore": true},
+	"Map":       {"LookupStore": true},
+}
 
 // finding is one lint diagnostic.
 type finding struct {
@@ -90,10 +108,15 @@ func main() {
 }
 
 // lintFile reports every range statement that iterates a metric map
-// directly while its body emits output.
+// directly while its body emits output, and every map allocation inside a
+// per-access-path function.
 func lintFile(fset *token.FileSet, f *ast.File) []finding {
 	var out []finding
 	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			out = append(out, lintHotPath(fset, fd)...)
+			return true
+		}
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
@@ -112,6 +135,55 @@ func lintFile(fset *token.FileSet, f *ast.File) []finding {
 		return true
 	})
 	return out
+}
+
+// lintHotPath rejects make(map...) and map composite literals in the body
+// of a per-access-path method (see hotPathFuncs).
+func lintHotPath(fset *token.FileSet, fd *ast.FuncDecl) []finding {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return nil
+	}
+	recv := receiverTypeName(fd.Recv.List[0].Type)
+	methods, ok := hotPathFuncs[recv]
+	if !ok || !methods[fd.Name.Name] {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+				if _, isMap := e.Args[0].(*ast.MapType); isMap {
+					out = append(out, finding{
+						pos: fset.Position(e.Pos()),
+						msg: fmt.Sprintf("map allocation on the per-access path %s.%s; allocate in the constructor or a cold helper",
+							recv, fd.Name.Name),
+					})
+				}
+			}
+		case *ast.CompositeLit:
+			if _, isMap := e.Type.(*ast.MapType); isMap {
+				out = append(out, finding{
+					pos: fset.Position(e.Pos()),
+					msg: fmt.Sprintf("map literal on the per-access path %s.%s; allocate in the constructor or a cold helper",
+						recv, fd.Name.Name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverTypeName unwraps *T / T receiver expressions to the type name.
+func receiverTypeName(e ast.Expr) string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // emitsOutput reports whether the block contains a call that writes

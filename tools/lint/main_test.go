@@ -94,3 +94,44 @@ func fine(m map[string]int) {
 		t.Fatalf("findings = %v, want none", got)
 	}
 }
+
+func TestFlagsMapAllocOnHotPath(t *testing.T) {
+	src := `package p
+func (e *Engine) accessBlock(ref int, block uint64) {
+	m := make(map[uint64]int)
+	m[block]++
+}
+func (h *Histogram) Add(d uint64) {
+	_ = map[string]int{"a": 1}
+}
+func (r *Radix) LookupStore(block uint64) {
+	cache := make(map[uint64]bool, 16)
+	_ = cache
+}
+`
+	got := lintSource(t, src)
+	if len(got) != 3 {
+		t.Fatalf("findings = %d, want 3: %v", len(got), got)
+	}
+}
+
+func TestAllowsMapAllocOffHotPath(t *testing.T) {
+	src := `package p
+func (e *Engine) newRefData() {
+	_ = make(map[uint64]int) // constructor/cold path: allowed
+}
+func (e *Other) Access() {
+	_ = make(map[uint64]int) // not a hot-path receiver type
+}
+func New() {
+	_ = map[string]int{"a": 1}
+}
+func (e *Engine) Access(ref int) {
+	_ = make([]uint64, 8) // slice allocation is fine
+	_ = e
+}
+`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
