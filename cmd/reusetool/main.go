@@ -10,9 +10,23 @@
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
 //	          [-static | -static-validate]
+//	          [-timeout 30s]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	reusetool -check prog.loop [more.loop ...]
 //	reusetool -check -workload gtc
+//	reusetool -remote http://127.0.0.1:8375 -workload sweep3d
+//
+// -timeout bounds the whole analysis; when the deadline fires the run
+// is abandoned mid-interpretation and the exit status is 3 (distinct
+// from 1, analysis failure, and 2, usage errors).
+//
+// -remote submits the analysis to a running reusetoold daemon (see
+// cmd/reusetoold) instead of executing it in-process: the client posts
+// the workload name or .loop source to /v1/analyze, polls the job, and
+// prints the daemon's report. Repeat submissions are served from the
+// daemon's content-addressed cache without re-running the interpreter.
+// -timeout applies end to end: it rides along as the job deadline and
+// bounds the client-side poll.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whatever the
 // invocation does (any mode), for profiling the per-access hot path on a
@@ -48,6 +62,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +82,7 @@ import (
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
+	"reusetool/internal/server"
 	"reusetool/internal/trace"
 	"reusetool/internal/tracefile"
 	"reusetool/internal/viewer"
@@ -99,6 +116,7 @@ const (
 	modeValidate    = "static-validate"
 	modeDumpProgram = "dump-program"
 	modeCheck       = "check"
+	modeRemote      = "remote"
 )
 
 // modeTable maps flag combinations to an analysis mode. selector is the
@@ -142,6 +160,11 @@ var modeTable = []struct {
 		selector: "check", mode: modeCheck,
 		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
 		reason:  "the checker runs no analysis",
+	},
+	{
+		selector: "remote", mode: modeRemote,
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		reason:  "the analysis runs on the daemon, which serves the text and JSON reports only",
 	},
 }
 
@@ -203,6 +226,8 @@ func run() int {
 		static    = flag.Bool("static", false, "predict reports symbolically from the IR, without executing the workload")
 		staticVal = flag.Bool("static-validate", false, "run both pipelines and print a per-reference static-vs-dynamic miss comparison at -level")
 		check     = flag.Bool("check", false, "statically check .loop programs (positional args) or the -workload/-program, then exit")
+		remote    = flag.String("remote", "", "submit the analysis to a reusetoold daemon at this base URL instead of running it in-process")
+		timeout   = flag.Duration("timeout", 0, "abandon the analysis after this long (exit status 3); 0 means no deadline")
 	)
 	var (
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
@@ -259,6 +284,51 @@ func run() int {
 		return runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params)
 	}
 
+	// -timeout bounds everything past flag validation. The deadline
+	// propagates through core.Pipeline into the interpreter, which stops
+	// within one polling stride; the process then exits with status 3.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// fail renders an analysis error and picks the exit status: 3 when
+	// the -timeout deadline killed the run, 1 for everything else.
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return 3
+		}
+		return 1
+	}
+
+	if mode == modeRemote {
+		req := server.AnalyzeRequest{
+			Workload:  *workload,
+			Params:    params,
+			Level:     *level,
+			MinShare:  *share,
+			TimeoutMS: timeout.Milliseconds(),
+		}
+		if *full {
+			req.Hierarchy = "full"
+		}
+		if *progFile != "" {
+			// The daemon parses and validates; the client ships raw source.
+			data, err := os.ReadFile(*progFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			req.Workload, req.Program = "", string(data)
+		}
+		if err := runRemote(ctx, *remote, req, os.Stdout, os.Stderr); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	hier := cache.ScaledItanium2()
 	if *full {
 		hier = cache.Itanium2()
@@ -266,9 +336,8 @@ func run() int {
 	opts := core.Options{Hierarchy: hier, Params: params, Parallel: *parallel}
 
 	if mode == modeTrace {
-		if err := analyzeTraceFile(*fromTrace, *level, *share, *xmlOut, opts); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		if err := analyzeTraceFile(ctx, *fromTrace, *level, *share, *xmlOut, opts); err != nil {
+			return fail(err)
 		}
 		return 0
 	}
@@ -302,9 +371,8 @@ func run() int {
 	}
 
 	if mode == modeValidate {
-		if err := staticValidate(prog, *level, opts); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		if err := staticValidate(ctx, prog, *level, opts); err != nil {
+			return fail(err)
 		}
 		return 0
 	}
@@ -312,9 +380,9 @@ func run() int {
 	var res *core.Result
 	switch mode {
 	case modeSaved:
-		res, err = analyzeSaved(prog, *loadFrom, opts)
+		res, err = analyzeSaved(ctx, prog, *loadFrom, opts)
 	case modeStatic:
-		res, err = core.Pipeline{Source: core.StaticSource{Prog: prog}, Options: opts}.Run()
+		res, err = core.Pipeline{Source: core.StaticSource{Prog: prog}, Options: opts}.RunContext(ctx)
 	case modeDynamic:
 		src := core.DynamicSource{Prog: prog}
 		finish := func(err error) error { return err }
@@ -334,12 +402,11 @@ func run() int {
 			opts.Tee = w
 			src = core.DynamicSource{Info: info}
 		}
-		res, err = core.Pipeline{Source: src, Options: opts}.Run()
+		res, err = core.Pipeline{Source: src, Options: opts}.RunContext(ctx)
 		err = finish(err)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return fail(err)
 	}
 
 	if *saveTo != "" {
@@ -369,9 +436,8 @@ func run() int {
 	}
 	if *cctOut {
 		fmt.Println()
-		if err := printCCT(*workload, *progFile, hier, *level, *share, params); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		if err := printCCT(ctx, *workload, *progFile, hier, *level, *share, params); err != nil {
+			return fail(err)
 		}
 	}
 	if *compareTo != "" {
@@ -384,10 +450,9 @@ func run() int {
 		otherRes, err := core.Pipeline{
 			Source:  core.DynamicSource{Prog: other, Init: otherInit},
 			Options: core.Options{Hierarchy: hier, Params: params, Parallel: *parallel},
-		}.Run()
+		}.RunContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return fail(err)
 		}
 		if err := viewer.Compare(os.Stdout, res.Report, otherRes.Report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -451,17 +516,17 @@ func checkParams(prog *ir.Program, params map[string]int64) error {
 
 // staticValidate runs the dynamic and the static pipeline on one workload
 // and prints a per-reference miss comparison at the selected level.
-func staticValidate(prog *ir.Program, level string, opts core.Options) error {
+func staticValidate(ctx context.Context, prog *ir.Program, level string, opts core.Options) error {
 	info, err := prog.Finalize()
 	if err != nil {
 		return err
 	}
-	dyn, err := core.Pipeline{Source: core.DynamicSource{Info: info}, Options: opts}.Run()
+	dyn, err := core.Pipeline{Source: core.DynamicSource{Info: info}, Options: opts}.RunContext(ctx)
 	if err != nil {
 		return err
 	}
 	opts.Init = nil
-	st, err := core.Pipeline{Source: core.StaticSource{Info: info}, Options: opts}.Run()
+	st, err := core.Pipeline{Source: core.StaticSource{Info: info}, Options: opts}.RunContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -497,7 +562,7 @@ func relErrString(static, dynamic float64) string {
 
 // printCCT re-runs the workload through a calling-context-tree profiler
 // at the selected level and prints the tree.
-func printCCT(workload, progFile string, hier *cache.Hierarchy, level string, share float64, params map[string]int64) error {
+func printCCT(ctx context.Context, workload, progFile string, hier *cache.Hierarchy, level string, share float64, params map[string]int64) error {
 	lvl := hier.Level(level)
 	if lvl == nil {
 		return fmt.Errorf("unknown level %q", level)
@@ -525,55 +590,47 @@ func printCCT(workload, progFile string, hier *cache.Hierarchy, level string, sh
 	if init != nil {
 		opts = append(opts, interp.WithInit(init))
 	}
-	if _, err := interp.Run(info, params, prof, opts...); err != nil {
+	if _, err := interp.RunContext(ctx, info, params, prof, opts...); err != nil {
 		return err
 	}
 	prof.Print(os.Stdout, info.Scopes, share)
 	return nil
 }
 
-// saveDataset snapshots the collected data for later -load runs.
+// saveDataset snapshots the collected data for later -load runs. The
+// write is atomic (persist.SaveFile), so a concurrent -load of the same
+// path never sees a torn stream.
 func saveDataset(res *core.Result, program, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	var trips map[trace.ScopeID]interp.TripStat
 	if res.Run != nil {
 		trips = res.Run.Trips
 	}
-	return persist.Save(f, persist.Snapshot(res.Collector, program, trips))
+	return persist.SaveFile(path, persist.Snapshot(res.Collector, program, trips))
 }
 
 // analyzeSaved rebuilds the report from a saved dataset (collect once,
 // predict many).
-func analyzeSaved(prog *ir.Program, path string, opts core.Options) (*core.Result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	d, err := persist.Load(f)
+func analyzeSaved(ctx context.Context, prog *ir.Program, path string, opts core.Options) (*core.Result, error) {
+	d, err := persist.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return core.Pipeline{
 		Source:  core.SavedSource{Prog: prog, Collector: d.Collector(), Trips: d.TripsFunc(1)},
 		Options: opts,
-	}.Run()
+	}.RunContext(ctx)
 }
 
 // analyzeTraceFile analyzes a recorded trace: the reuse-distance engines
 // replay the events and a report is built against the recovered scope
 // tree (no static fragmentation analysis — there is no IR to analyze).
-func analyzeTraceFile(path, level string, share float64, xmlOut bool, opts core.Options) error {
+func analyzeTraceFile(ctx context.Context, path, level string, share float64, xmlOut bool, opts core.Options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	res, err := core.Pipeline{Source: core.TraceSource{R: f}, Options: opts}.Run()
+	res, err := core.Pipeline{Source: core.TraceSource{R: f}, Options: opts}.RunContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -661,39 +718,8 @@ func loadProgramFile(path string) (*ir.Program, func(*interp.Machine) error, err
 	return lang.Parse(string(data))
 }
 
+// buildWorkload delegates to the shared registry so the CLI and the
+// daemon accept exactly the same workload names.
 func buildWorkload(name string) (*ir.Program, func(*interp.Machine) error, error) {
-	switch name {
-	case "fig1a":
-		return workloads.Fig1(false), nil, nil
-	case "fig1b":
-		return workloads.Fig1(true), nil, nil
-	case "fig2":
-		return workloads.Fig2(), nil, nil
-	case "stream":
-		return workloads.Stream(1<<14, 4), nil, nil
-	case "stencil":
-		return workloads.Stencil(128, 4), nil, nil
-	case "transpose":
-		return workloads.Transpose(256), nil, nil
-	case "sweep3d", "sweep3d-blk6", "sweep3d-blk6ic":
-		cfg := workloads.DefaultSweep3D()
-		if name == "sweep3d-blk6" {
-			cfg.Block = 6
-		}
-		if name == "sweep3d-blk6ic" {
-			cfg.Block = 6
-			cfg.DimInterchange = true
-		}
-		p, err := workloads.Sweep3D(cfg)
-		return p, nil, err
-	case "gtc", "gtc-tuned":
-		cfg := workloads.DefaultGTC()
-		if name == "gtc-tuned" {
-			vs := workloads.GTCVariants(cfg)
-			cfg = vs[len(vs)-1].Config
-		}
-		p, init, err := workloads.GTC(cfg)
-		return p, init, err
-	}
-	return nil, nil, fmt.Errorf("unknown workload %q (try fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d, sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned)", name)
+	return workloads.Build(name)
 }

@@ -1,0 +1,103 @@
+// Command reusetoold runs the reuse-distance analysis as a long-lived
+// HTTP service (see internal/server): POST /v1/analyze accepts .loop
+// source, a built-in workload name, or a saved persist stream; jobs run
+// on a bounded worker pool and results are served from a
+// content-addressed cache on resubmission.
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: intake stops
+// (healthz reports "draining"), in-flight jobs finish (bounded by
+// -drain-timeout), then the HTTP listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reusetool/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("reusetoold", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8375", "listen address")
+		workers      = fs.Int("workers", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 64, "job queue depth; submissions beyond it get 429")
+		jobTimeout   = fs.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
+		maxTimeout   = fs.Duration("max-job-timeout", 0, "cap on request-supplied deadlines (0 = job-timeout)")
+		cacheEntries = fs.Int("cache-entries", 128, "in-memory result-cache capacity")
+		cacheDir     = fs.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(out, "reusetoold: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		MaxJobTimeout: *maxTimeout,
+		CacheEntries:  *cacheEntries,
+		CacheDir:      *cacheDir,
+	})
+	if err != nil {
+		logger.Printf("startup: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("listening on http://%s (workers=%d queue=%d cache=%d dir=%q)",
+		ln.Addr(), *workers, *queue, *cacheEntries, *cacheDir)
+	// The resolved address on its own line lets scripts (and the CI
+	// smoke test) scrape the port when -addr ends in :0.
+	fmt.Fprintf(out, "reusetoold-addr %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	logger.Printf("shutdown: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v (stragglers canceled)", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+		code = 1
+	}
+	logger.Printf("shutdown: done")
+	return code
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"reusetool/internal/workloads"
+)
+
+// TestRunContextCancelStopsRun verifies that canceling a pipeline's
+// context aborts a long dynamic run promptly instead of letting it
+// execute to completion: the interpreter polls the context every access
+// batch, so a workload with hundreds of millions of accesses must
+// return within a small multiple of the batch size.
+func TestRunContextCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run even starts
+
+	// Big enough that running to completion would take many seconds.
+	prog := workloads.Stream(1<<20, 1<<10)
+	start := time.Now()
+	_, err := Pipeline{Source: DynamicSource{Prog: prog}}.RunContext(ctx)
+	if err == nil {
+		t.Fatal("canceled pipeline returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v is not context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; want prompt abort", d)
+	}
+}
+
+// TestRunContextDeadlineStopsMidRun cancels while the interpreter is
+// mid-execution and checks both the error identity and that partial
+// progress was abandoned (no Result leaks out).
+func TestRunContextDeadlineStopsMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	prog := workloads.Stream(1<<20, 1<<10)
+	start := time.Now()
+	res, err := Pipeline{Source: DynamicSource{Prog: prog}}.RunContext(ctx)
+	if err == nil {
+		t.Fatal("expired pipeline returned no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v is not context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned a partial Result")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline abort took %v; want within one batch", d)
+	}
+}
+
+// TestRunContextParallelCancel exercises the cancellation path with the
+// parallel fan-out active: the producer stops and the consumer
+// goroutines must still be joined cleanly.
+func TestRunContextParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	prog := workloads.Stream(1<<20, 1<<10)
+	_, err := Pipeline{
+		Source:  DynamicSource{Prog: prog},
+		Options: Options{Parallel: true},
+	}.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v is not context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextBackgroundUnchanged makes sure the context plumbing is
+// inert for normal runs: a background context must not change results.
+func TestRunContextBackgroundUnchanged(t *testing.T) {
+	res1, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1, f2 := res1.Collector.Fingerprint(), res2.Collector.Fingerprint(); f1 != f2 {
+		t.Fatalf("fingerprint changed under RunContext: %x != %x", f1, f2)
+	}
+}

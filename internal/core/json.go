@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"reusetool/internal/metrics"
+	"reusetool/internal/trace"
+)
+
+// The JSON document mirrors the report structure with every
+// nondeterministic container flattened into a sorted slice: per-ref
+// misses are ordered by reference ID, per-array aggregates by array
+// name, and the pattern database keeps the report's own deterministic
+// descending-miss order. Struct field order is fixed by declaration, so
+// encoding the same Result twice yields identical bytes — the API
+// responses and cache artifacts depend on that.
+type jsonDoc struct {
+	Program     string      `json:"program"`
+	Hierarchy   string      `json:"hierarchy"`
+	Accesses    uint64      `json:"accesses"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Levels      []jsonLevel `json:"levels"`
+}
+
+type jsonLevel struct {
+	Level           string        `json:"level"`
+	BlockBytes      uint64        `json:"block_bytes"`
+	CapacityBytes   uint64        `json:"capacity_bytes"`
+	Accesses        uint64        `json:"accesses"`
+	TotalMisses     float64       `json:"total_misses"`
+	ColdMisses      float64       `json:"cold_misses"`
+	CapacityMisses  float64       `json:"capacity_misses"`
+	ConflictMisses  float64       `json:"conflict_misses"`
+	IrregularMisses float64       `json:"irregular_misses"`
+	Refs            []jsonRef     `json:"refs"`
+	Arrays          []jsonArray   `json:"arrays"`
+	Patterns        []jsonPattern `json:"patterns"`
+}
+
+type jsonRef struct {
+	Ref    int32   `json:"ref"`
+	Name   string  `json:"name"`
+	Array  string  `json:"array"`
+	Misses float64 `json:"misses"`
+}
+
+type jsonArray struct {
+	Array      string  `json:"array"`
+	Misses     float64 `json:"misses"`
+	FragMisses float64 `json:"frag_misses"`
+}
+
+type jsonPattern struct {
+	Ref        int32   `json:"ref"`
+	RefName    string  `json:"ref_name"`
+	Array      string  `json:"array"`
+	Dest       string  `json:"dest"`
+	Source     string  `json:"source"`
+	Carrying   string  `json:"carrying"`
+	Count      uint64  `json:"count"`
+	Misses     float64 `json:"misses"`
+	Irregular  bool    `json:"irregular,omitempty"`
+	FragFactor float64 `json:"frag_factor"`
+	FragMisses float64 `json:"frag_misses"`
+}
+
+// EncodeJSON renders the result's report as a deterministic JSON
+// document: encoding the same analysis twice — or the same request on
+// two daemons — produces byte-identical output, so responses can be
+// content-addressed, cached, and diffed. It requires a Result with a
+// Report (i.e. not SimulateOnly).
+func (r *Result) EncodeJSON() ([]byte, error) {
+	if r.Report == nil {
+		return nil, fmt.Errorf("core: result has no report to encode")
+	}
+	rep := r.Report
+	doc := jsonDoc{
+		Program:   rep.Source.Name(),
+		Hierarchy: rep.Hier.Name,
+	}
+	if r.Run != nil {
+		doc.Accesses = r.Run.Accesses
+	}
+	if r.Collector != nil {
+		doc.Fingerprint = fmt.Sprintf("%016x", r.Collector.Fingerprint())
+	}
+	tree := rep.Tree()
+	label := func(s trace.ScopeID) string {
+		if s == trace.NoScope || !tree.Valid(s) {
+			return ""
+		}
+		return tree.Label(s)
+	}
+	for _, lr := range rep.Levels {
+		jl := jsonLevel{
+			Level:           lr.Level.Name,
+			BlockBytes:      lr.Level.LineSize(),
+			CapacityBytes:   lr.Level.CapacityBytes(),
+			Accesses:        lr.Accesses,
+			TotalMisses:     lr.TotalMisses,
+			ColdMisses:      lr.ColdMisses,
+			CapacityMisses:  lr.CapacityMisses,
+			ConflictMisses:  lr.ConflictMisses,
+			IrregularMisses: lr.IrregularMisses,
+			Refs:            sortedRefs(rep, lr),
+			Arrays:          sortedArrays(lr),
+		}
+		for _, p := range lr.Patterns {
+			jl.Patterns = append(jl.Patterns, jsonPattern{
+				Ref:        int32(p.Ref),
+				RefName:    p.RefName,
+				Array:      p.Array,
+				Dest:       label(p.Dest),
+				Source:     label(p.Source),
+				Carrying:   label(p.Carrying),
+				Count:      p.Count,
+				Misses:     p.Misses,
+				Irregular:  p.Irregular,
+				FragFactor: p.FragFactor,
+				FragMisses: p.FragMisses,
+			})
+		}
+		doc.Levels = append(doc.Levels, jl)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		return nil, fmt.Errorf("core: encode json: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// sortedRefs flattens the per-reference miss map in ascending RefID
+// order (numeric, not string, so ref 10 sorts after ref 2).
+func sortedRefs(rep *metrics.Report, lr *metrics.LevelReport) []jsonRef {
+	ids := make([]trace.RefID, 0, len(lr.MissesByRef))
+	for id := range lr.MissesByRef {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	refs := make([]jsonRef, 0, len(ids))
+	for _, id := range ids {
+		name, arr, _ := rep.Source.RefLabel(id)
+		refs = append(refs, jsonRef{
+			Ref:    int32(id),
+			Name:   name,
+			Array:  arr,
+			Misses: lr.MissesByRef[id],
+		})
+	}
+	return refs
+}
+
+// sortedArrays flattens the per-array aggregates in array-name order.
+func sortedArrays(lr *metrics.LevelReport) []jsonArray {
+	names := make([]string, 0, len(lr.MissesByArray))
+	for name := range lr.MissesByArray {
+		names = append(names, name)
+	}
+	for name := range lr.FragMissesByArray {
+		if _, ok := lr.MissesByArray[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	arrays := make([]jsonArray, 0, len(names))
+	for _, name := range names {
+		arrays = append(arrays, jsonArray{
+			Array:      name,
+			Misses:     lr.MissesByArray[name],
+			FragMisses: lr.FragMissesByArray[name],
+		})
+	}
+	return arrays
+}

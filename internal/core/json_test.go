@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reusetool/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestEncodeJSONGolden locks the deterministic JSON encoding byte for
+// byte: any change to field order, float formatting, sorting, or
+// analysis results shows up as a golden diff. Regenerate deliberately
+// with: go test ./internal/core -run EncodeJSONGolden -update
+func TestEncodeJSONGolden(t *testing.T) {
+	res, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig1(false)}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig1a.report.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON encoding drifted from golden file %s (rerun with -update if intended)\ngot %d bytes, want %d bytes", golden, len(got), len(want))
+	}
+}
+
+// TestEncodeJSONDeterministic encodes the same analysis twice, from two
+// independent pipeline runs, and requires identical bytes — the property
+// the content-addressed result cache relies on.
+func TestEncodeJSONDeterministic(t *testing.T) {
+	for _, build := range []func() ([]byte, error){
+		func() ([]byte, error) {
+			res, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.Run()
+			if err != nil {
+				return nil, err
+			}
+			return res.EncodeJSON()
+		},
+	} {
+		a, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("two runs of the same analysis encoded to different bytes")
+		}
+	}
+}
+
+// TestEncodeJSONWellFormed checks the document parses and has the
+// expected shape (levels present, refs sorted ascending).
+func TestEncodeJSONWellFormed(t *testing.T) {
+	res, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Program string `json:"program"`
+		Levels  []struct {
+			Level string `json:"level"`
+			Refs  []struct {
+				Ref int32 `json:"ref"`
+			} `json:"refs"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Program == "" || len(doc.Levels) == 0 {
+		t.Fatalf("document missing program/levels: %s", data[:120])
+	}
+	for _, l := range doc.Levels {
+		for i := 1; i < len(l.Refs); i++ {
+			if l.Refs[i-1].Ref >= l.Refs[i].Ref {
+				t.Fatalf("level %s refs not sorted ascending", l.Level)
+			}
+		}
+	}
+}
+
+// TestEncodeJSONRequiresReport covers the SimulateOnly case.
+func TestEncodeJSONRequiresReport(t *testing.T) {
+	res, err := Pipeline{
+		Source:  DynamicSource{Prog: workloads.Fig2()},
+		Options: Options{SimulateOnly: true},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.EncodeJSON(); err == nil {
+		t.Fatal("EncodeJSON on a report-less result should error")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -100,23 +101,36 @@ type Pipeline struct {
 
 // Run executes the pipeline and builds the full Result.
 func (p Pipeline) Run() (*Result, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: a canceled or expired ctx aborts
+// the analysis promptly — the interpreter stops within one access batch
+// (see interp.RunContext) and the stage boundaries between ingestion,
+// the static analyses and the report build are also checkpoints. The
+// returned error wraps ctx.Err(), so callers can errors.Is it against
+// context.Canceled / context.DeadlineExceeded.
+func (p Pipeline) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	switch s := p.Source.(type) {
 	case DynamicSource:
-		return p.runDynamic(s)
+		return p.runDynamic(ctx, s)
 	case *DynamicSource:
-		return p.runDynamic(*s)
+		return p.runDynamic(ctx, *s)
 	case StaticSource:
-		return p.runStatic(s)
+		return p.runStatic(ctx, s)
 	case *StaticSource:
-		return p.runStatic(*s)
+		return p.runStatic(ctx, *s)
 	case SavedSource:
-		return p.runSaved(s)
+		return p.runSaved(ctx, s)
 	case *SavedSource:
-		return p.runSaved(*s)
+		return p.runSaved(ctx, *s)
 	case TraceSource:
-		return p.runTrace(s)
+		return p.runTrace(ctx, s)
 	case *TraceSource:
-		return p.runTrace(*s)
+		return p.runTrace(ctx, *s)
 	case nil:
 		return nil, fmt.Errorf("core: pipeline has no source")
 	}
@@ -202,7 +216,16 @@ func (p Pipeline) fanOut(consumers ...trace.Handler) (trace.Handler, func() erro
 	return trace.Multi(flat), noop
 }
 
-func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
+// checkpoint reports the context's error at a stage boundary, wrapped
+// for core callers.
+func checkpoint(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+func (p Pipeline) runDynamic(ctx context.Context, s DynamicSource) (*Result, error) {
 	info, err := finalized(s.Prog, s.Info)
 	if err != nil {
 		return nil, err
@@ -241,7 +264,7 @@ func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
 	if init != nil {
 		runOpts = append(runOpts, interp.WithInit(init))
 	}
-	run, runErr := interp.Run(info, p.Params, handler, runOpts...)
+	run, runErr := interp.RunContext(ctx, info, p.Params, handler, runOpts...)
 	if err := join(); runErr == nil {
 		runErr = err
 	}
@@ -253,6 +276,9 @@ func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
 	if p.SimulateOnly {
 		return res, nil
 	}
+	if err := checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	static := staticanalysis.Analyze(info, run.Machine, staticanalysis.TripsFromRun(run, 1))
 	rep, err := metrics.Build(info, col, static, hier, p.Model)
 	if err != nil {
@@ -263,7 +289,7 @@ func (p Pipeline) runDynamic(s DynamicSource) (*Result, error) {
 	return res, nil
 }
 
-func (p Pipeline) runStatic(s StaticSource) (*Result, error) {
+func (p Pipeline) runStatic(ctx context.Context, s StaticSource) (*Result, error) {
 	info, err := finalized(s.Prog, s.Info)
 	if err != nil {
 		return nil, err
@@ -275,6 +301,9 @@ func (p Pipeline) runStatic(s StaticSource) (*Result, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: static: %w", err)
+	}
+	if err := checkpoint(ctx); err != nil {
+		return nil, err
 	}
 	rep, err := metrics.Build(info, est.Collector, est.Static, hier, p.Model)
 	if err != nil {
@@ -290,7 +319,7 @@ func (p Pipeline) runStatic(s StaticSource) (*Result, error) {
 	}, nil
 }
 
-func (p Pipeline) runSaved(s SavedSource) (*Result, error) {
+func (p Pipeline) runSaved(ctx context.Context, s SavedSource) (*Result, error) {
 	info, err := finalized(s.Prog, s.Info)
 	if err != nil {
 		return nil, err
@@ -307,6 +336,9 @@ func (p Pipeline) runSaved(s SavedSource) (*Result, error) {
 	if trips == nil {
 		trips = staticanalysis.ConstTrips(1)
 	}
+	if err := checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	static := staticanalysis.Analyze(info, mach, trips)
 	rep, err := metrics.Build(info, s.Collector, static, hier, p.Model)
 	if err != nil {
@@ -322,7 +354,7 @@ func (p Pipeline) runSaved(s SavedSource) (*Result, error) {
 	}, nil
 }
 
-func (p Pipeline) runTrace(s TraceSource) (*Result, error) {
+func (p Pipeline) runTrace(ctx context.Context, s TraceSource) (*Result, error) {
 	if s.R == nil {
 		return nil, fmt.Errorf("core: trace source has no reader")
 	}
@@ -350,6 +382,9 @@ func (p Pipeline) runTrace(s TraceSource) (*Result, error) {
 	res := &Result{Hier: hier, Sim: sim}
 	if p.SimulateOnly {
 		return res, nil
+	}
+	if err := checkpoint(ctx); err != nil {
+		return nil, err
 	}
 	rep, err := metrics.Build(meta, col, nil, hier, p.Model)
 	if err != nil {

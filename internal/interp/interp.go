@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"reusetool/internal/ir"
@@ -55,6 +56,28 @@ type Machine struct {
 	maxAccesses uint64
 	maxDepth    int
 	callDepth   int
+
+	// ctx/done support cooperative cancellation: the step loop polls done
+	// every interruptStride accesses and at every loop entry, so a
+	// canceled run stops within one batch instead of running to
+	// completion. done is nil when the run is not cancellable.
+	ctx  context.Context
+	done <-chan struct{}
+}
+
+// interruptStride is how many accesses may execute between two
+// cancellation polls. A power of two so the check is a mask, not a
+// division, on the per-access hot path.
+const interruptStride = 1 << 12
+
+// interrupted polls the run's context without blocking.
+func (m *Machine) interrupted() error {
+	select {
+	case <-m.done:
+		return fmt.Errorf("interp: %w", m.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // Option configures a run.
@@ -111,6 +134,14 @@ func (r *Result) AvgTrips(s trace.ScopeID, def float64) float64 {
 // Run executes info's program with the given parameter overrides, feeding
 // events to h.
 func Run(info *ir.Info, params map[string]int64, h trace.Handler, opts ...Option) (*Result, error) {
+	return RunContext(context.Background(), info, params, h, opts...)
+}
+
+// RunContext is Run under a context: when ctx is canceled or its
+// deadline passes, execution stops within one access batch
+// (interruptStride accesses) and the context's error is returned. A
+// background context adds no per-access overhead beyond one nil check.
+func RunContext(ctx context.Context, info *ir.Info, params map[string]int64, h trace.Handler, opts ...Option) (*Result, error) {
 	cfg := config{baseAddr: 1 << 20, arrayPad: 256}
 	for _, o := range opts {
 		o(&cfg)
@@ -121,6 +152,8 @@ func Run(info *ir.Info, params map[string]int64, h trace.Handler, opts ...Option
 	}
 	m.handler = h
 	m.maxAccesses = cfg.maxAccesses
+	m.ctx = ctx
+	m.done = ctx.Done()
 	if err := m.layout(cfg.baseAddr, cfg.arrayPad); err != nil {
 		return nil, err
 	}
@@ -256,6 +289,11 @@ func (m *Machine) exec(s ir.Stmt) error {
 			m.trips[st.Scope()] = ts
 		}
 		ts.Execs++
+		if m.done != nil {
+			if err := m.interrupted(); err != nil {
+				return err
+			}
+		}
 		m.handler.EnterScope(st.Scope())
 		slot := st.Var.Slot()
 		for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
@@ -300,6 +338,11 @@ func (m *Machine) exec(s ir.Stmt) error {
 			m.accesses++
 			if m.maxAccesses > 0 && m.accesses > m.maxAccesses {
 				return fmt.Errorf("interp: access budget of %d exceeded", m.maxAccesses)
+			}
+			if m.done != nil && m.accesses&(interruptStride-1) == 0 {
+				if err := m.interrupted(); err != nil {
+					return err
+				}
 			}
 			m.handler.Access(ref.ID(), addr, uint32(ref.Array.Elem), ref.Write)
 		}

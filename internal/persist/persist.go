@@ -11,6 +11,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"reusetool/internal/interp"
@@ -145,6 +147,45 @@ func Save(w io.Writer, d *Dataset) error {
 		return fmt.Errorf("persist: encode: %w", err)
 	}
 	return nil
+}
+
+// SaveFile writes the dataset to path atomically: the stream is written
+// to a temporary file in the same directory and renamed into place only
+// once complete. Concurrent readers therefore always observe either the
+// previous complete artifact or the new one — never a torn stream — and
+// concurrent writers of the same path each land a complete artifact,
+// with one of them winning. This is the primitive the daemon's on-disk
+// result cache builds on.
+func SaveFile(path string, d *Dataset) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".persist-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	// Clean the temp file up on any failure path; harmless after rename.
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, d); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads an artifact written by SaveFile (or any complete Save
+// stream on disk).
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Load reads a dataset written by Save, accepting both the current

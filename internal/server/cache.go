@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"reusetool/internal/persist"
+)
+
+// CacheEntry is one content-addressed analysis result: the key is the
+// SHA-256 of the canonical IR bytes plus canonicalized options (see
+// resolved.cacheKey), the value is everything needed to answer the
+// request without re-running the interpreter — the deterministic
+// persist-v2 collector stream, the rendered text report, and the
+// deterministic JSON document. Fingerprint is the collector's engine
+// fingerprint at collection time; hits are verified against it by
+// round-tripping the artifact through internal/persist.
+type CacheEntry struct {
+	Key         string
+	Program     string
+	Fingerprint uint64
+	Artifact    []byte
+	Report      []byte
+	JSON        []byte
+}
+
+// verify round-trips the persist artifact and checks the restored
+// engines reproduce the recorded fingerprint — a corrupted or stale
+// artifact (e.g. a truncated disk file predating atomic writes) is
+// rejected rather than served.
+func (e *CacheEntry) verify() error {
+	if len(e.Artifact) == 0 {
+		return fmt.Errorf("server: cache entry %s has no artifact", e.Key)
+	}
+	d, err := persist.Load(bytes.NewReader(e.Artifact))
+	if err != nil {
+		return fmt.Errorf("server: cache entry %s: %w", e.Key, err)
+	}
+	if fp := d.Collector().Fingerprint(); fp != e.Fingerprint {
+		return fmt.Errorf("server: cache entry %s: fingerprint %016x != recorded %016x",
+			e.Key, fp, e.Fingerprint)
+	}
+	return nil
+}
+
+// ResultCache is the two-tier content-addressed store in front of the
+// scheduler: a bounded in-memory LRU, optionally backed by an on-disk
+// artifact directory that survives restarts. Disk entries are written
+// atomically (tmp+rename, the persist.SaveFile protocol) so concurrent
+// daemons sharing a directory never serve torn artifacts.
+type ResultCache struct {
+	// mu guards the LRU structures only; disk I/O happens outside the
+	// critical sections.
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	byKey   map[string]*list.Element
+	dir     string
+	metrics *Metrics
+}
+
+// NewResultCache builds a cache holding up to maxEntries results in
+// memory. dir enables the disk tier when non-empty (the directory is
+// created if needed); metrics may be nil.
+func NewResultCache(maxEntries int, dir string, m *Metrics) (*ResultCache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	c := &ResultCache{
+		max:     maxEntries,
+		ll:      list.New(),
+		byKey:   map[string]*list.Element{},
+		dir:     dir,
+		metrics: m,
+	}
+	return c, nil
+}
+
+// Len reports the number of memory-resident entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the entry for key, consulting the memory tier first and
+// then the disk tier, verifying the artifact fingerprint before serving
+// it. A verification failure evicts the entry and reports a miss.
+func (c *ResultCache) Get(key string) (*CacheEntry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*CacheEntry)
+		c.mu.Unlock()
+		if err := e.verify(); err != nil {
+			c.metrics.CacheBadVerify.Add(1)
+			c.drop(key)
+			c.metrics.CacheMisses.Add(1)
+			return nil, false
+		}
+		c.metrics.CacheHits.Add(1)
+		return e, true
+	}
+	c.mu.Unlock()
+	if e, ok := c.loadDisk(key); ok {
+		if err := e.verify(); err != nil {
+			c.metrics.CacheBadVerify.Add(1)
+			os.Remove(c.diskPath(key))
+			c.metrics.CacheMisses.Add(1)
+			return nil, false
+		}
+		c.insert(e)
+		c.metrics.CacheHits.Add(1)
+		c.metrics.CacheDiskHits.Add(1)
+		return e, true
+	}
+	c.metrics.CacheMisses.Add(1)
+	return nil, false
+}
+
+// Put stores a freshly computed entry in both tiers. The disk tier is
+// best-effort: the memory tier already holds the entry, so a disk write
+// failure degrades persistence, not correctness.
+func (c *ResultCache) Put(e *CacheEntry) {
+	c.insert(e)
+	if c.dir != "" {
+		_ = c.saveDisk(e)
+	}
+}
+
+func (c *ResultCache) insert(e *CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.Key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[e.Key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*CacheEntry).Key)
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+func (c *ResultCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
+// diskPath shards entries by the first byte of the key to keep
+// directories small under millions of artifacts.
+func (c *ResultCache) diskPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".entry")
+}
+
+func (c *ResultCache) saveDisk(e *CacheEntry) error {
+	path := c.diskPath(e.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(e); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (c *ResultCache) loadDisk(key string) (*CacheEntry, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e CacheEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil || e.Key != key {
+		return nil, false
+	}
+	return &e, true
+}

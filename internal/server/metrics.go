@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's counter registry, exposed in Prometheus text
+// format on GET /metrics. All counters are monotonic and lock-free; the
+// gauges (queue depth, running jobs, cache entries) are sampled from
+// the scheduler and cache at render time.
+type Metrics struct {
+	start time.Time
+
+	JobsSubmitted atomic.Uint64
+	JobsCompleted atomic.Uint64
+	JobsFailed    atomic.Uint64
+	JobsCanceled  atomic.Uint64
+	JobsRejected  atomic.Uint64
+
+	CacheHits      atomic.Uint64
+	CacheMisses    atomic.Uint64
+	CacheDiskHits  atomic.Uint64
+	CacheEvictions atomic.Uint64
+	CacheBadVerify atomic.Uint64
+
+	// AnalyzeNanos accumulates wall-clock time spent inside the analysis
+	// pipeline (cache misses only; hits skip it entirely).
+	AnalyzeNanos atomic.Uint64
+}
+
+// NewMetrics starts the uptime clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Gauges carries the point-in-time values sampled at render time.
+type Gauges struct {
+	QueueDepth   int
+	RunningJobs  int
+	CacheEntries int
+	Draining     bool
+}
+
+// WriteText renders the registry in the Prometheus exposition format.
+func (m *Metrics) WriteText(w io.Writer, g Gauges) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("reusetoold_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+	counter("reusetoold_jobs_submitted_total", "Analysis jobs accepted for scheduling.", m.JobsSubmitted.Load())
+	counter("reusetoold_jobs_completed_total", "Analysis jobs finished successfully.", m.JobsCompleted.Load())
+	counter("reusetoold_jobs_failed_total", "Analysis jobs finished with an error.", m.JobsFailed.Load())
+	counter("reusetoold_jobs_canceled_total", "Analysis jobs canceled or timed out.", m.JobsCanceled.Load())
+	counter("reusetoold_jobs_rejected_total", "Submissions rejected (queue full or draining).", m.JobsRejected.Load())
+	counter("reusetoold_cache_hits_total", "Analyze requests served from the result cache.", m.CacheHits.Load())
+	counter("reusetoold_cache_misses_total", "Analyze requests that ran the pipeline.", m.CacheMisses.Load())
+	counter("reusetoold_cache_disk_hits_total", "Cache hits satisfied by the on-disk artifact store.", m.CacheDiskHits.Load())
+	counter("reusetoold_cache_evictions_total", "Entries evicted from the memory tier.", m.CacheEvictions.Load())
+	counter("reusetoold_cache_verify_failures_total", "Cached artifacts whose fingerprint failed verification.", m.CacheBadVerify.Load())
+	gauge("reusetoold_analyze_seconds_total", "Wall-clock seconds spent inside the analysis pipeline.", float64(m.AnalyzeNanos.Load())/1e9)
+	gauge("reusetoold_queue_depth", "Jobs waiting in the FIFO queue.", float64(g.QueueDepth))
+	gauge("reusetoold_jobs_running", "Jobs currently executing on workers.", float64(g.RunningJobs))
+	gauge("reusetoold_cache_entries", "Entries resident in the memory cache tier.", float64(g.CacheEntries))
+	drain := 0.0
+	if g.Draining {
+		drain = 1
+	}
+	gauge("reusetoold_draining", "1 while the daemon is draining for shutdown.", drain)
+}

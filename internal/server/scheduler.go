@@ -1,0 +1,380 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of a scheduled analysis.
+type JobStatus string
+
+// Job lifecycle states. Queued jobs sit in the FIFO queue; Running jobs
+// occupy a worker; the three terminal states distinguish success,
+// failure, and cancellation (which includes deadline expiry).
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("server: job queue is full")
+	ErrDraining  = errors.New("server: daemon is draining")
+)
+
+// Job is one scheduled analysis. The run closure is supplied by the
+// server and does the actual pipeline work; the scheduler owns status
+// transitions, the per-job deadline, and cancellation.
+type Job struct {
+	ID  string
+	Key string
+
+	// Timeout is the per-job deadline applied when the job starts
+	// running (queue wait does not count against it).
+	Timeout time.Duration
+
+	run func(ctx context.Context) (*CacheEntry, error)
+
+	mu        sync.Mutex
+	status    JobStatus
+	err       string
+	result    *CacheEntry
+	cacheHit  bool
+	canceled  bool // cancel requested while still queued
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// Snapshot is a consistent copy of a job's externally visible state.
+type Snapshot struct {
+	ID        string
+	Key       string
+	Status    JobStatus
+	Err       string
+	Result    *CacheEntry
+	CacheHit  bool
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Snapshot returns the job's current state under its lock.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.ID,
+		Key:       j.Key,
+		Status:    j.status,
+		Err:       j.err,
+		Result:    j.result,
+		CacheHit:  j.cacheHit,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Scheduler runs jobs on a bounded worker pool fed by a FIFO queue.
+// Submissions beyond the queue bound are rejected immediately
+// (ErrQueueFull) rather than blocking the HTTP handler — back-pressure
+// is the caller's signal to retry. Drain stops intake, lets queued and
+// running jobs finish, and joins the workers.
+type Scheduler struct {
+	queue   chan *Job
+	metrics *Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order, for pruning
+	seq      uint64
+	draining bool
+
+	running sync.WaitGroup // one count per worker goroutine
+	active  sync.Mutex     // guards activeN
+	activeN int
+
+	defaultTimeout time.Duration
+	maxJobs        int
+}
+
+// NewScheduler builds and starts a pool of workers. queueDepth bounds
+// the FIFO; defaultTimeout applies to jobs submitted without their own.
+func NewScheduler(workers, queueDepth int, defaultTimeout time.Duration, m *Metrics) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if defaultTimeout <= 0 {
+		defaultTimeout = 2 * time.Minute
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Scheduler{
+		queue:          make(chan *Job, queueDepth),
+		metrics:        m,
+		jobs:           map[string]*Job{},
+		defaultTimeout: defaultTimeout,
+		maxJobs:        4096,
+	}
+	for i := 0; i < workers; i++ {
+		s.running.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// NewJob allocates a job record in a terminal or schedulable state.
+// Completed cache hits pass run==nil and are recorded done immediately;
+// misses get queued by Submit.
+func (s *Scheduler) NewJob(key string, timeout time.Duration, run func(ctx context.Context) (*CacheEntry, error)) *Job {
+	if timeout <= 0 {
+		timeout = s.defaultTimeout
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%08d", s.seq)
+	j := &Job{
+		ID:        id,
+		Key:       key,
+		Timeout:   timeout,
+		run:       run,
+		status:    JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.prune()
+	s.mu.Unlock()
+	return j
+}
+
+// prune drops the oldest terminal jobs once the registry exceeds
+// maxJobs, bounding memory under sustained traffic. Caller holds s.mu.
+func (s *Scheduler) prune() {
+	for len(s.jobs) > s.maxJobs {
+		pruned := false
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			j.mu.Lock()
+			terminal := j.status == JobDone || j.status == JobFailed || j.status == JobCanceled
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything live; let the registry grow
+		}
+	}
+}
+
+// Complete marks a job done without scheduling it (cache-hit path).
+func (s *Scheduler) Complete(j *Job, e *CacheEntry, hit bool) {
+	j.mu.Lock()
+	j.status = JobDone
+	j.result = e
+	j.cacheHit = hit
+	j.started = j.submitted
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Submit queues a job for execution. It never blocks: a full queue
+// returns ErrQueueFull and a draining scheduler ErrDraining, and the
+// job is marked failed accordingly. The enqueue happens under the
+// scheduler lock so it cannot race Drain's close of the queue.
+func (s *Scheduler) Submit(j *Job) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(j, ErrDraining)
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.metrics.JobsSubmitted.Add(1)
+		return nil
+	default:
+		s.mu.Unlock()
+		s.reject(j, ErrQueueFull)
+		return ErrQueueFull
+	}
+}
+
+func (s *Scheduler) reject(j *Job, err error) {
+	s.metrics.JobsRejected.Add(1)
+	j.mu.Lock()
+	j.status = JobFailed
+	j.err = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation: a queued job is marked canceled and
+// skipped when dequeued; a running job has its context canceled, which
+// aborts the interpreter within one access batch. Returns false for
+// unknown or already-terminal jobs.
+func (s *Scheduler) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case JobQueued:
+		j.canceled = true
+		return true
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// QueueDepth reports the jobs currently waiting in the FIFO.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Running reports the jobs currently executing.
+func (s *Scheduler) Running() int {
+	s.active.Lock()
+	defer s.active.Unlock()
+	return s.activeN
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake, waits for the queue to empty and every worker to
+// finish, then returns. If ctx expires first, running jobs are canceled
+// and Drain waits (briefly) for them to abort before returning ctx's
+// error.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		// Force-cancel whatever is still running, then wait for the
+		// workers to observe it.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.status == JobRunning && j.cancel != nil {
+				j.cancel()
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.running.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.canceled {
+		j.status = JobCanceled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.metrics.JobsCanceled.Add(1)
+		close(j.done)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), j.Timeout)
+	j.status = JobRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.active.Lock()
+	s.activeN++
+	s.active.Unlock()
+
+	start := time.Now()
+	entry, err := j.run(ctx)
+	s.metrics.AnalyzeNanos.Add(uint64(time.Since(start)))
+	cancel()
+
+	s.active.Lock()
+	s.activeN--
+	s.active.Unlock()
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = JobDone
+		j.result = entry
+		s.metrics.JobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.status = JobCanceled
+		j.err = err.Error()
+		s.metrics.JobsCanceled.Add(1)
+	default:
+		j.status = JobFailed
+		j.err = err.Error()
+		s.metrics.JobsFailed.Add(1)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}

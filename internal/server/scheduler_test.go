@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitJob(t *testing.T, j *Job) Snapshot {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s never finished", j.ID)
+	}
+	return j.Snapshot()
+}
+
+func TestSchedulerRunsJobsFIFO(t *testing.T) {
+	m := NewMetrics()
+	s := NewScheduler(1, 8, time.Minute, m)
+	defer s.Drain(context.Background())
+
+	var order []string
+	jobs := make([]*Job, 3)
+	for i := range jobs {
+		id := string(rune('a' + i))
+		jobs[i] = s.NewJob("k"+id, 0, func(ctx context.Context) (*CacheEntry, error) {
+			order = append(order, id) // single worker: no data race
+			return &CacheEntry{Key: "k" + id}, nil
+		})
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		snap := waitJob(t, j)
+		if snap.Status != JobDone {
+			t.Fatalf("job %s: %s (%s)", j.ID, snap.Status, snap.Err)
+		}
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("execution order %v, want [a b c]", order)
+	}
+	if m.JobsCompleted.Load() != 3 {
+		t.Fatalf("completed = %d", m.JobsCompleted.Load())
+	}
+}
+
+func TestSchedulerQueueBound(t *testing.T) {
+	s := NewScheduler(1, 1, time.Minute, NewMetrics())
+	defer s.Drain(context.Background())
+
+	release := make(chan struct{})
+	blocker := s.NewJob("blocker", 0, func(ctx context.Context) (*CacheEntry, error) {
+		<-release
+		return nil, nil
+	})
+	if err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker occupies the worker so the queue is empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Running() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One fits in the queue; the next must be rejected, not block.
+	q := s.NewJob("queued", 0, func(ctx context.Context) (*CacheEntry, error) { return nil, nil })
+	if err := s.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	rej := s.NewJob("rejected", 0, func(ctx context.Context) (*CacheEntry, error) { return nil, nil })
+	if err := s.Submit(rej); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if snap := rej.Snapshot(); snap.Status != JobFailed {
+		t.Fatalf("rejected job status %s", snap.Status)
+	}
+	close(release)
+	waitJob(t, q)
+}
+
+func TestSchedulerPerJobDeadline(t *testing.T) {
+	s := NewScheduler(1, 4, time.Minute, NewMetrics())
+	defer s.Drain(context.Background())
+
+	j := s.NewJob("slow", 20*time.Millisecond, func(ctx context.Context) (*CacheEntry, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("deadline did not fire")
+		}
+	})
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitJob(t, j)
+	if snap.Status != JobCanceled {
+		t.Fatalf("status %s (%s), want canceled", snap.Status, snap.Err)
+	}
+}
+
+func TestSchedulerCancelQueuedAndRunning(t *testing.T) {
+	s := NewScheduler(1, 4, time.Minute, NewMetrics())
+	defer s.Drain(context.Background())
+
+	release := make(chan struct{})
+	running := s.NewJob("running", 0, func(ctx context.Context) (*CacheEntry, error) {
+		close(release)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err := s.Submit(running); err != nil {
+		t.Fatal(err)
+	}
+	queued := s.NewJob("queued", 0, func(ctx context.Context) (*CacheEntry, error) {
+		return nil, errors.New("canceled job ran")
+	})
+	if err := s.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	<-release // running job is on the worker
+	if !s.Cancel(queued.ID) {
+		t.Fatal("cancel(queued) = false")
+	}
+	if !s.Cancel(running.ID) {
+		t.Fatal("cancel(running) = false")
+	}
+	if snap := waitJob(t, running); snap.Status != JobCanceled {
+		t.Fatalf("running job status %s", snap.Status)
+	}
+	if snap := waitJob(t, queued); snap.Status != JobCanceled {
+		t.Fatalf("queued job status %s", snap.Status)
+	}
+	if s.Cancel("nope") {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	s := NewScheduler(2, 8, time.Minute, NewMetrics())
+
+	var ran atomic.Int32
+	jobs := make([]*Job, 5)
+	for i := range jobs {
+		jobs[i] = s.NewJob("k", 0, func(ctx context.Context) (*CacheEntry, error) {
+			time.Sleep(5 * time.Millisecond)
+			ran.Add(1)
+			return nil, nil
+		})
+		if err := s.Submit(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("drain finished %d of 5 jobs", got)
+	}
+	// Post-drain submissions are refused.
+	late := s.NewJob("late", 0, func(ctx context.Context) (*CacheEntry, error) { return nil, nil })
+	if err := s.Submit(late); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDrainDeadlineCancelsStragglers(t *testing.T) {
+	s := NewScheduler(1, 4, time.Minute, NewMetrics())
+	started := make(chan struct{})
+	j := s.NewJob("straggler", 0, func(ctx context.Context) (*CacheEntry, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v", err)
+	}
+	if snap := waitJob(t, j); snap.Status != JobCanceled {
+		t.Fatalf("straggler status %s", snap.Status)
+	}
+}

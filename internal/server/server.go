@@ -1,0 +1,261 @@
+// Package server turns the one-shot reuse-distance analysis into a
+// long-running service: an HTTP/JSON API in front of a bounded
+// worker-pool job scheduler, fronted by a content-addressed result
+// cache.
+//
+// The request flow is:
+//
+//	POST /v1/analyze ── resolve ── cacheKey ──► cache hit? ── yes ─► job done immediately
+//	                                               │ no
+//	                                               ▼
+//	                                     FIFO queue ─► worker pool ─► core.Pipeline
+//	                                               │ (per-job deadline, cancelable)
+//	                                               ▼
+//	                                     cache.Put(persist stream + reports)
+//
+// The cache key is a SHA-256 over the canonical IR bytes (lang.Format)
+// plus canonicalized options; the value is the deterministic persist-v2
+// collector stream, the rendered text report, and the deterministic
+// JSON document. Cache hits skip interpretation entirely and are
+// verified by round-tripping the artifact through internal/persist and
+// comparing engine fingerprints.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the analysis worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64); submissions
+	// beyond it are rejected with 429.
+	QueueDepth int
+	// JobTimeout is the default per-job deadline (default 2m).
+	JobTimeout time.Duration
+	// MaxJobTimeout caps request-supplied deadlines (default JobTimeout).
+	MaxJobTimeout time.Duration
+	// CacheEntries bounds the in-memory result-cache tier (default 128).
+	CacheEntries int
+	// CacheDir enables the on-disk artifact store when non-empty.
+	CacheDir string
+	// MaxBodyBytes bounds request bodies (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the reusetoold service core: share-nothing except the
+// scheduler and cache, so one instance serves many concurrent clients.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *ResultCache
+	sched   *Scheduler
+	mux     *http.ServeMux
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	if cfg.MaxJobTimeout <= 0 {
+		cfg.MaxJobTimeout = cfg.JobTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	m := NewMetrics()
+	c, err := NewResultCache(cfg.CacheEntries, cfg.CacheDir, m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   c,
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, m),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter registry (for tests and the daemon).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Drain stops job intake and waits for in-flight work, honoring ctx.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// JobJSON is the wire form of a job in API responses.
+type JobJSON struct {
+	ID        string          `json:"id"`
+	Status    JobStatus       `json:"status"`
+	Key       string          `json:"key"`
+	CacheHit  bool            `json:"cache_hit"`
+	Error     string          `json:"error,omitempty"`
+	Submitted string          `json:"submitted,omitempty"`
+	Started   string          `json:"started,omitempty"`
+	Finished  string          `json:"finished,omitempty"`
+	Report    string          `json:"report,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func jobJSON(j *Job) *JobJSON {
+	snap := j.Snapshot()
+	out := &JobJSON{
+		ID:       snap.ID,
+		Status:   snap.Status,
+		Key:      snap.Key,
+		CacheHit: snap.CacheHit,
+		Error:    snap.Err,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	out.Submitted = stamp(snap.Submitted)
+	out.Started = stamp(snap.Started)
+	out.Finished = stamp(snap.Finished)
+	if snap.Status == JobDone && snap.Result != nil {
+		out.Report = string(snap.Result.Report)
+		out.Result = json.RawMessage(snap.Result.JSON)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	rr, err := resolve(req, s.cfg.MaxJobTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := rr.cacheKey()
+
+	// Warm path: serve the content-addressed result without scheduling.
+	if entry, ok := s.cache.Get(key); ok {
+		j := s.sched.NewJob(key, rr.timeout, nil)
+		s.sched.Complete(j, entry, true)
+		writeJSON(w, http.StatusOK, jobJSON(j))
+		return
+	}
+
+	// Cold path: queue the analysis.
+	j := s.sched.NewJob(key, rr.timeout, func(ctx context.Context) (*CacheEntry, error) {
+		entry, err := rr.execute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(entry)
+		return entry, nil
+	})
+	if err := s.sched.Submit(j); err != nil {
+		status := http.StatusServiceUnavailable
+		if err == ErrQueueFull {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobJSON(j))
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.sched.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !s.sched.Cancel(id) {
+		writeError(w, http.StatusConflict, "job %s is not cancelable", id)
+		return
+	}
+	j, _ := s.sched.Job(id)
+	writeJSON(w, http.StatusOK, jobJSON(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.sched.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.sched.QueueDepth(),
+		"running":     s.sched.Running(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w, Gauges{
+		QueueDepth:   s.sched.QueueDepth(),
+		RunningJobs:  s.sched.Running(),
+		CacheEntries: s.cache.Len(),
+		Draining:     s.sched.Draining(),
+	})
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+)
+
+// builders maps the public workload names — the ones `reusetool
+// -workload` and the daemon's "workload" request field accept — to
+// their constructors. Entries return the program plus an optional init
+// callback that fills Data arrays before execution.
+var builders = map[string]func() (*ir.Program, func(*interp.Machine) error, error){
+	"fig1a": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Fig1(false), nil, nil
+	},
+	"fig1b": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Fig1(true), nil, nil
+	},
+	"fig2": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Fig2(), nil, nil
+	},
+	"stream": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Stream(1<<14, 4), nil, nil
+	},
+	"stencil": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Stencil(128, 4), nil, nil
+	},
+	"transpose": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return Transpose(256), nil, nil
+	},
+	"sweep3d": func() (*ir.Program, func(*interp.Machine) error, error) {
+		p, err := Sweep3D(DefaultSweep3D())
+		return p, nil, err
+	},
+	"sweep3d-blk6": func() (*ir.Program, func(*interp.Machine) error, error) {
+		cfg := DefaultSweep3D()
+		cfg.Block = 6
+		p, err := Sweep3D(cfg)
+		return p, nil, err
+	},
+	"sweep3d-blk6ic": func() (*ir.Program, func(*interp.Machine) error, error) {
+		cfg := DefaultSweep3D()
+		cfg.Block = 6
+		cfg.DimInterchange = true
+		p, err := Sweep3D(cfg)
+		return p, nil, err
+	},
+	"gtc": func() (*ir.Program, func(*interp.Machine) error, error) {
+		return GTC(DefaultGTC())
+	},
+	"gtc-tuned": func() (*ir.Program, func(*interp.Machine) error, error) {
+		cfg := DefaultGTC()
+		vs := GTCVariants(cfg)
+		return GTC(vs[len(vs)-1].Config)
+	},
+}
+
+// Build constructs a built-in workload by name. The error of an unknown
+// name lists the valid ones.
+func Build(name string) (*ir.Program, func(*interp.Machine) error, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown workload %q (try %v)", name, Names())
+	}
+	return b()
+}
+
+// Names lists the built-in workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
