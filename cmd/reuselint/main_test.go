@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"reusetool/internal/analyzers"
+	"reusetool/internal/analyzers/analysis"
+)
+
+// TestRepoIsClean runs the full suite over this module — the same gate
+// CI applies with `go run ./cmd/reuselint ./...`. Loading the module
+// plus the standard library from source takes a few seconds, so the
+// test is skipped under -short.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide lint is slow; skipped with -short")
+	}
+	prog, err := analysis.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(prog, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

@@ -66,9 +66,10 @@ func pollJob(ctx context.Context, base, id string) (*server.JobJSON, error) {
 	for {
 		select {
 		case <-ctx.Done():
-			// Detached context: ctx is already dead, but the daemon should
-			// still stop working on our behalf.
-			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			// ctx is already dead, but the daemon should still stop working
+			// on our behalf: detach from the cancellation while keeping the
+			// caller's context values.
+			cancelCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 			_, _, _ = doJSON(cancelCtx, http.MethodDelete, url, nil)
 			cancel()
 			return nil, fmt.Errorf("waiting for job %s: %w", id, ctx.Err())

@@ -9,4 +9,9 @@
 // cmd/reusetool and cmd/experiments are the command-line entry points;
 // examples/ holds runnable walkthroughs; bench_test.go regenerates every
 // table and figure of the paper's evaluation.
+//
+// The codebase's own invariants — deterministic output, an
+// allocation-free per-access path, mutex and context discipline — are
+// enforced by the type-aware analyzer suite in internal/analyzers,
+// driven by cmd/reuselint and gated in CI (DESIGN.md §11).
 package repro

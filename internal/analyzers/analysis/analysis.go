@@ -1,0 +1,214 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: it loads a whole Go module (or a
+// GOPATH-style testdata tree) with full type information using only the
+// standard library, and runs Analyzer passes over the typed program.
+//
+// The deliberate difference from x/tools is pass granularity: an
+// Analyzer here runs once over the whole Program rather than once per
+// package, because the suite's most valuable pass (hotpathalloc) needs
+// a cross-package callgraph, and the repository is small enough that
+// whole-program passes stay cheap. Per-package analyzers simply iterate
+// Program.Packages.
+//
+// Analyzers communicate with the source through //reuse:* directives
+// and structured comments (see ParseDirectives and GuardComment); the
+// grammar is documented in DESIGN.md section 11.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	// Path is the import path ("reusetool/internal/histo", or the
+	// GOPATH-style path under a testdata src root).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info hold the full type-checking results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Name returns the package name ("main", "histo", ...).
+func (p *Package) Name() string { return p.Types.Name() }
+
+// Program is a set of type-checked packages sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // sorted by import path
+	byPath   map[string]*Package
+}
+
+// Package returns the package with the given import path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// Diagnostic is one finding, attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named pass over a Program.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects pass.Prog and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer run's inputs and collects its findings.
+type Pass struct {
+	Fset *token.FileSet
+	Prog *Program
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the program and returns all
+// diagnostics sorted by position (filename, then offset) — a
+// deterministic order regardless of analyzer iteration internals.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: prog.Fset, Prog: prog, analyzer: a}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(all[i].Pos), prog.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// directiveRE matches one //reuse:name or //reuse:name(arg) directive
+// comment line.
+var directiveRE = regexp.MustCompile(`^//reuse:([a-z-]+)(?:\(([^)]*)\))?$`)
+
+// Directive is one //reuse:* source annotation.
+type Directive struct {
+	// Name is the directive name ("hotpath", "coldpath", "ctx-root",
+	// "locked").
+	Name string
+	// Arg is the parenthesized argument, if any ("mu" in
+	// //reuse:locked(mu)).
+	Arg string
+}
+
+// ParseDirectives extracts //reuse:* directives from a doc comment
+// group. Directive comments follow the Go toolchain convention: no
+// space after //, so they are machine-readable without polluting
+// rendered documentation.
+func ParseDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		if m := directiveRE.FindStringSubmatch(strings.TrimSpace(c.Text)); m != nil {
+			out = append(out, Directive{Name: m[1], Arg: m[2]})
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether doc carries //reuse:name.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	for _, d := range ParseDirectives(doc) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveArg returns the argument of the first //reuse:name(arg)
+// directive in doc, and whether one was present.
+func DirectiveArg(doc *ast.CommentGroup, name string) (string, bool) {
+	for _, d := range ParseDirectives(doc) {
+		if d.Name == name {
+			return d.Arg, true
+		}
+	}
+	return "", false
+}
+
+// guardRE matches the "guarded by mu" structured comment on struct
+// fields (case-insensitive, anywhere in the comment text).
+var guardRE = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+
+// GuardComment extracts the mutex field name from a struct-field
+// comment of the form "// guarded by mu", consulting both the doc
+// comment above the field and the line comment beside it.
+func GuardComment(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// FuncObj resolves a function declaration to its types.Func, or nil.
+func (p *Package) FuncObj(fd *ast.FuncDecl) *types.Func {
+	if fd.Name == nil {
+		return nil
+	}
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// ShortName renders a function object as it appears in this repo's
+// diagnostics: pkgname.Func or (pkgname.Recv).Method.
+func ShortName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("(%s%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}

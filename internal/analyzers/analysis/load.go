@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader resolves imports from three sources, in order: packages of
+// the module (or testdata src tree) being analyzed, which are parsed
+// and type-checked from source with full syntax retained; and
+// everything else — the standard library — through the go/importer
+// "source" importer, which type-checks GOROOT sources on demand. No
+// export data, build cache, or network is needed, so the suite runs in
+// a hermetic container with nothing but the toolchain installed.
+
+// loader accumulates type-checked packages for one Load call.
+type loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	// resolve maps an import path to a source directory for paths that
+	// belong to the analyzed tree; ok=false falls through to stdlib.
+	resolve func(path string) (dir string, ok bool)
+
+	pkgs    map[string]*Package
+	loading map[string]bool // cycle detection
+}
+
+func newLoader(resolve func(string) (string, bool)) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		resolve: resolve,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom for the type checker.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if local, ok := l.resolve(path); ok {
+		p, err := l.load(path, local)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks the package in dir under the given import
+// path, recursively loading local dependencies via ImportFrom.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every buildable non-test Go file in dir, with
+// comments (directives live there).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// program assembles the loaded packages into a deterministic Program.
+func (l *loader) program() *Program {
+	pr := &Program{Fset: l.fset, byPath: map[string]*Package{}}
+	for path, p := range l.pkgs {
+		pr.byPath[path] = p
+		pr.Packages = append(pr.Packages, p)
+	}
+	sort.Slice(pr.Packages, func(i, j int) bool {
+		return pr.Packages[i].Path < pr.Packages[j].Path
+	})
+	return pr
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod, returning the
+// module root directory and the module path.
+func ModuleRoot(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadModule type-checks every package of the module containing dir and
+// returns the resulting Program. Directories named testdata, hidden
+// directories, and underscore-prefixed directories are skipped — note
+// the parenthesization: dot-dirs are skipped everywhere except the walk
+// root itself (so analyzing "." from inside a dot-named checkout still
+// works), independent of the testdata check.
+func LoadModule(dir string) (*Program, error) {
+	root, modpath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Discover every package directory up front; imports between them
+	// resolve through the same map.
+	dirs := map[string]string{} // import path -> dir
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			if strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := modpath
+		if rel != "." {
+			ip = modpath + "/" + filepath.ToSlash(rel)
+		}
+		dirs[ip] = filepath.Dir(path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	l := newLoader(func(path string) (string, bool) {
+		d, ok := dirs[path]
+		return d, ok
+	})
+	paths := make([]string, 0, len(dirs))
+	for ip := range dirs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if _, err := l.load(ip, dirs[ip]); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// LoadTree type-checks the named packages from a GOPATH-style source
+// root (srcRoot/<importpath>/*.go), the layout analysistest fixtures
+// use. Imports that resolve to directories under srcRoot load locally;
+// everything else comes from the standard library.
+func LoadTree(srcRoot string, paths ...string) (*Program, error) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(func(path string) (string, bool) {
+		d := filepath.Join(abs, filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, true
+		}
+		return "", false
+	})
+	for _, p := range paths {
+		if _, err := l.load(p, filepath.Join(abs, filepath.FromSlash(p))); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}

@@ -1,0 +1,106 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// CtxPropagate enforces context discipline so the daemon's deadlines
+// and cancellation actually reach the interpreter:
+//
+//   - a function that receives a context.Context must thread it: calls
+//     that mint context.Background()/context.TODO() while a caller's
+//     context is in scope are flagged everywhere, including package
+//     main;
+//   - outside package main, context.Background()/TODO() may only
+//     appear in functions annotated //reuse:ctx-root — the deliberate
+//     lifecycle roots (compatibility wrappers without a context
+//     parameter, and the scheduler detaching job lifetimes from HTTP
+//     request lifetimes).
+//
+// Test files are not loaded by the driver, so tests may use
+// context.Background freely.
+var CtxPropagate = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "library code threads context.Context; no context.Background outside main and //reuse:ctx-root",
+	Run:  runCtxPropagate,
+}
+
+func runCtxPropagate(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Packages {
+		isMain := pkg.Name() == "main"
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if analysis.HasDirective(fd.Doc, "ctx-root") {
+					continue
+				}
+				receivesCtx := funcReceivesContext(pkg.Info, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name, ok := contextRootCall(pkg.Info, call)
+					if !ok {
+						return true
+					}
+					switch {
+					case receivesCtx:
+						pass.Reportf(call.Pos(),
+							"function receives a context.Context but mints context.%s; thread the caller's context instead", name)
+					case !isMain:
+						pass.Reportf(call.Pos(),
+							"context.%s in library code; accept a context.Context from the caller or annotate the function //reuse:ctx-root", name)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// funcReceivesContext reports whether the declaration has a
+// context.Context parameter (named or not).
+func funcReceivesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// contextRootCall recognizes context.Background() and context.TODO().
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,151 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// Deprecated flags uses of objects whose doc comment carries a
+// standard "Deprecated:" paragraph from outside the defining package.
+// The defining package itself may keep calling them (the compatibility
+// wrappers are implemented in terms of each other), and test files are
+// not loaded, so deprecation coverage tests keep working.
+var Deprecated = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc:  "no use of Deprecated: identifiers outside their defining package",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *analysis.Pass) error {
+	// Index every deprecated object in the program with its notice.
+	notices := map[types.Object]string{}
+	for _, pkg := range pass.Prog.Packages {
+		collectDeprecated(pkg, notices)
+	}
+	if len(notices) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[id]
+				if !ok {
+					return true
+				}
+				notice, dep := notices[obj]
+				if !dep || obj.Pkg() == pkg.Types {
+					return true
+				}
+				pass.Reportf(id.Pos(), "use of deprecated %s %s: %s",
+					objKind(obj), qualifiedName(obj), notice)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectDeprecated records objects whose doc contains a Deprecated:
+// paragraph: package-level funcs, types, vars, consts, and struct
+// fields.
+func collectDeprecated(pkg *analysis.Package, out map[types.Object]string) {
+	note := func(doc *ast.CommentGroup, idents ...*ast.Ident) {
+		msg, ok := deprecationNotice(doc)
+		if !ok {
+			return
+		}
+		for _, id := range idents {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = msg
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				note(d.Doc, d.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						doc := s.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						note(doc, s.Name)
+					case *ast.ValueSpec:
+						doc := s.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						note(doc, s.Names...)
+					}
+				}
+			}
+		}
+		// Struct fields (e.g. a deprecated Config knob).
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				note(f.Doc, f.Names...)
+			}
+			return true
+		})
+	}
+}
+
+// deprecationNotice extracts the first line of the "Deprecated:"
+// paragraph from a doc comment.
+func deprecationNotice(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func objKind(obj types.Object) string {
+	switch o := obj.(type) {
+	case *types.Func:
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "method"
+		}
+		return "function"
+	case *types.TypeName:
+		return "type"
+	case *types.Var:
+		if o.IsField() {
+			return "field"
+		}
+		return "variable"
+	case *types.Const:
+		return "constant"
+	default:
+		return "identifier"
+	}
+}
+
+func qualifiedName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return analysis.ShortName(fn)
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,323 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// Determinism rejects code that emits output in Go map iteration order.
+// Reports, persist-v2 streams, JSON documents, and engine fingerprints
+// must be byte-reproducible: the content-addressed result cache keys on
+// them, so a nondeterministic byte poisons cache entries fleet-wide.
+//
+// Two shapes are flagged:
+//
+//   - ranging over a map while the body reaches an output sink (fmt
+//     printing, an io.Writer write, a gob/JSON/XML Encode, an FNV or
+//     other hash write);
+//   - ranging over a slice that was filled from a map iteration and
+//     never sorted, while the body reaches a sink — the
+//     collect-then-forget-to-sort variant the seeded-mutation test
+//     exercises.
+//
+// The sanctioned pattern is collect, sort, then emit: accumulation
+// inside the map range (sums, appends) is allowed, and a sort.* or
+// slices.* call on the collected slice clears it for output.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "no output, encoding, or hashing in map iteration order",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncDeterminism(pass, pkg, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncDeterminism analyzes one function body (closures included:
+// they share the enclosing function's variables, so taint flows through
+// them naturally).
+func checkFuncDeterminism(pass *analysis.Pass, pkg *analysis.Package, body *ast.BlockStmt) {
+	info := pkg.Info
+
+	// Phase 1: compute the set of slice variables tainted by map
+	// iteration order — appended to inside the body of a range over a
+	// map (or over an already-tainted slice), iterated to a fixpoint so
+	// taint propagates through chained collections.
+	tainted := map[types.Object]bool{}
+	for {
+		added := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangeIsMapOrdered(info, rs, tainted) {
+				return true
+			}
+			for obj := range appendTargets(info, rs.Body) {
+				if !tainted[obj] {
+					tainted[obj] = true
+					added = true
+				}
+			}
+			return true
+		})
+		if !added {
+			break
+		}
+	}
+
+	// Phase 2: a sort call on a tainted variable clears it for every
+	// use after the call (position order is a sound approximation
+	// within one function body).
+	sortedAt := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+					if prev, ok := sortedAt[obj]; !ok || call.Pos() < prev {
+						sortedAt[obj] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Phase 3: report ranges whose body reaches a sink while iterating
+	// in (possibly laundered) map order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		sinkDesc, ok := findSink(info, rs.Body)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Pos(),
+					"ranging over map %s reaches %s in nondeterministic map order; collect and sort the keys first",
+					types.ExprString(rs.X), sinkDesc)
+				return true
+			}
+		}
+		if id, ok := rs.X.(*ast.Ident); ok {
+			obj := info.ObjectOf(id)
+			if obj != nil && tainted[obj] {
+				if pos, ok := sortedAt[obj]; !ok || pos > rs.Pos() {
+					pass.Reportf(rs.Pos(),
+						"ranging over %s, which was collected from a map iteration and never sorted, reaches %s in nondeterministic order; sort it before emitting",
+						id.Name, sinkDesc)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeIsMapOrdered reports whether the range statement iterates in map
+// order: directly over a map, or over a tainted slice.
+func rangeIsMapOrdered(info *types.Info, rs *ast.RangeStmt, tainted map[types.Object]bool) bool {
+	if t := info.TypeOf(rs.X); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	if id, ok := rs.X.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTargets collects the variables assigned from an append call
+// inside the block: `names = append(names, k)` taints names.
+func appendTargets(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(lhs); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSortCall reports whether the call is to package sort or slices —
+// the sanctioned way to fix an iteration order.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// findSink looks for a call inside the block that makes iteration order
+// externally observable, and describes it.
+func findSink(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	desc := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if d, ok := sinkCall(info, call); ok {
+			desc = d
+			return false
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// sinkCall classifies a call as an output/encoder/fingerprint sink.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	var recvStatic types.Type
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = info.ObjectOf(f).(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.ObjectOf(f.Sel).(*types.Func)
+		recvStatic = info.TypeOf(f.X)
+	}
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// fmt.Print*/Fprint* (Sprint* is pure and allowed — its result
+	// still has to reach a sink to matter).
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name, true
+	}
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	// Prefer the static type at the call site over the method's declared
+	// receiver, so a Write promoted from an embedded io.Writer is
+	// described as (say) hash.Hash64.Write, not io.Writer.Write.
+	if namedPkgPath(recvStatic) != "" {
+		recv = recvStatic
+	}
+
+	// Encoders: gob, json, xml Encode methods.
+	if strings.HasPrefix(name, "Encode") {
+		if p := namedPkgPath(recv); p == "encoding/gob" || p == "encoding/json" || p == "encoding/xml" {
+			return shortType(recv) + "." + name, true
+		}
+	}
+
+	// Writes to anything that satisfies io.Writer: buffers, builders,
+	// tabwriters, HTTP responses, and hash.Hash (FNV fingerprints).
+	if strings.HasPrefix(name, "Write") && implementsWriter(recv) {
+		return shortType(recv) + "." + name, true
+	}
+	return "", false
+}
+
+// ioWriter is a structurally constructed io.Writer, so the check works
+// even when the analyzed package never imports io.
+var ioWriter = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)
+	i := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	i.Complete()
+	return i
+}()
+
+func implementsWriter(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}
+
+// namedPkgPath returns the package path of a (possibly pointered) named
+// type, or "".
+func namedPkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// shortType renders a receiver type compactly for diagnostics.
+func shortType(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		if n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+		}
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,220 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// HotPathAlloc rejects map allocations in the per-access path. The old
+// tools/lint encoded the hot path as a hard-coded receiver/method table
+// that rotted whenever code moved; here the roots are declared in the
+// source with //reuse:hotpath and the analyzer walks the static
+// callgraph — interface calls resolved to every in-module
+// implementation — so a helper extracted from Engine.Access stays
+// covered without touching the analyzer.
+//
+// Functions annotated //reuse:coldpath are sanctioned allocation sites
+// (constructors and explicitly cold helpers); traversal stops at them.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "no map allocations reachable from //reuse:hotpath roots",
+	Run:  runHotPathAlloc,
+}
+
+// hpFunc is one node of the program callgraph.
+type hpFunc struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *analysis.Package
+	hot  bool // //reuse:hotpath root
+	cold bool // //reuse:coldpath barrier
+}
+
+func runHotPathAlloc(pass *analysis.Pass) error {
+	// Index every declared function in the program.
+	index := map[*types.Func]*hpFunc{}
+	var order []*hpFunc // deterministic traversal order
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.FuncObj(fd)
+				if obj == nil {
+					continue
+				}
+				n := &hpFunc{
+					obj:  obj,
+					decl: fd,
+					pkg:  pkg,
+					hot:  analysis.HasDirective(fd.Doc, "hotpath"),
+					cold: analysis.HasDirective(fd.Doc, "coldpath"),
+				}
+				index[obj] = n
+				order = append(order, n)
+			}
+		}
+	}
+
+	// BFS from the hot roots across static and interface-resolved
+	// call edges, stopping at //reuse:coldpath barriers. parent records
+	// the discovery edge so diagnostics can print the call chain.
+	parent := map[*hpFunc]*hpFunc{}
+	var queue []*hpFunc
+	reached := map[*hpFunc]bool{}
+	for _, n := range order {
+		if n.hot {
+			reached[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, calleeObj := range callees(pass.Prog, n) {
+			callee, ok := index[calleeObj]
+			if !ok || reached[callee] || callee.cold {
+				continue
+			}
+			reached[callee] = true
+			parent[callee] = n
+			queue = append(queue, callee)
+		}
+	}
+
+	// Scan every reached function for map allocations.
+	for _, n := range order {
+		if !reached[n] {
+			continue
+		}
+		chain := callChain(parent, n)
+		info := n.pkg.Info
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch e := node.(type) {
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok {
+					if b, ok := info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "make" {
+						if t := info.TypeOf(e); t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap {
+								pass.Reportf(e.Pos(),
+									"map allocation on the per-access hot path (%s); allocate in a constructor or a //reuse:coldpath helper",
+									chain)
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if t := info.TypeOf(e); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(e.Pos(),
+							"map literal on the per-access hot path (%s); allocate in a constructor or a //reuse:coldpath helper",
+							chain)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callChain renders "root -> ... -> fn" through the BFS discovery
+// edges.
+func callChain(parent map[*hpFunc]*hpFunc, n *hpFunc) string {
+	var names []string
+	for m := n; m != nil; m = parent[m] {
+		names = append(names, analysis.ShortName(m.obj))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// callees resolves the functions a body can invoke: direct calls and
+// concrete method calls statically, interface method calls to every
+// named in-module type implementing the interface. Calls through plain
+// function values are unresolvable and skipped.
+func callees(prog *analysis.Program, n *hpFunc) []*types.Func {
+	info := n.pkg.Info
+	seen := map[*types.Func]bool{}
+	var out []*types.Func
+	add := func(fn *types.Func) {
+		if fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			if fn, ok := info.ObjectOf(f).(*types.Func); ok {
+				add(fn)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return true
+				}
+				recv := sel.Recv()
+				if iface, ok := recv.Underlying().(*types.Interface); ok {
+					for _, impl := range implementations(prog, iface, m.Name()) {
+						add(impl)
+					}
+				} else {
+					add(m)
+				}
+				return true
+			}
+			// Package-qualified function (pkg.Func).
+			if fn, ok := info.ObjectOf(f.Sel).(*types.Func); ok {
+				add(fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// implementations finds, across the whole program, the concrete methods
+// that an interface method call can dispatch to.
+func implementations(prog *analysis.Program, iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			for _, t := range []types.Type{named, types.NewPointer(named)} {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(t, true, nil, method)
+				if fn, ok := obj.(*types.Func); ok {
+					out = append(out, fn)
+				}
+				break
+			}
+		}
+	}
+	return out
+}

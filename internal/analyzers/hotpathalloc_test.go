@@ -1,0 +1,27 @@
+package analyzers_test
+
+import (
+	"strings"
+	"testing"
+
+	"reusetool/internal/analyzers"
+	"reusetool/internal/analyzers/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", analyzers.HotPathAlloc, "hotpathalloc")
+	// Both finding kinds of the old tools/lint table must be present:
+	// make(map...) and a map composite literal on the hot path.
+	var makes, literals int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "map allocation"):
+			makes++
+		case strings.Contains(d.Message, "map literal"):
+			literals++
+		}
+	}
+	if makes == 0 || literals == 0 {
+		t.Errorf("want both finding kinds, got %d map allocations and %d map literals", makes, literals)
+	}
+}

@@ -1,0 +1,447 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// LockCheck verifies mutex discipline declared in the source: a struct
+// field annotated "// guarded by mu" may only be read or written while
+// mu (a sibling field of the same struct) is held. The pass is an
+// intra-procedural must-hold dataflow over each function body:
+//
+//   - x.mu.Lock() / RLock() adds (x, mu) to the held set, Unlock /
+//     RUnlock removes it, defer x.mu.Unlock() leaves it held to the end
+//     of the function;
+//   - branches merge by intersection (a mutex counts as held only if
+//     every fall-through path holds it); branches that return are
+//     excluded from the merge;
+//   - function literals and go-statement bodies start from an empty
+//     held set — a goroutine does not inherit its creator's locks;
+//   - //reuse:locked(mu) on a method declares the caller-holds-mu
+//     contract (the scheduler's prune is the canonical case), seeding
+//     the entry state.
+//
+// The base of a guarded access must be a plain identifier (receiver,
+// parameter, or local); accesses through arbitrary expressions are
+// outside the analysis and ignored.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated 'guarded by mu' are accessed only under the mutex",
+	Run:  runLockCheck,
+}
+
+// lockKey identifies one held mutex: the variable the struct is
+// reached through plus the mutex field name.
+type lockKey struct {
+	base types.Object
+	mu   string
+}
+
+// lockState is the must-hold set. It is copied at branch points.
+type lockState map[lockKey]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func intersect(a, b lockState) lockState {
+	out := lockState{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// guardInfo is the per-package annotation table: guarded field -> name
+// of the mutex field that protects it.
+type guardInfo map[*types.Var]string
+
+func runLockCheck(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Packages {
+		guards := collectGuards(pass, pkg)
+		if len(guards) == 0 {
+			continue
+		}
+		w := &lockWalker{pass: pass, pkg: pkg, guards: guards}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards scans struct declarations for "guarded by" comments and
+// validates that the named mutex is a sibling field.
+func collectGuards(pass *analysis.Pass, pkg *analysis.Package) guardInfo {
+	guards := guardInfo{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu, ok := analysis.GuardComment(f)
+				if !ok {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(f.Pos(),
+						"field is annotated 'guarded by %s' but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+type lockWalker struct {
+	pass   *analysis.Pass
+	pkg    *analysis.Package
+	guards guardInfo
+}
+
+func (w *lockWalker) checkFunc(fd *ast.FuncDecl) {
+	st := lockState{}
+	// //reuse:locked(mu): the receiver's mu is held on entry.
+	if mu, ok := analysis.DirectiveArg(fd.Doc, "locked"); ok && fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if obj := w.pkg.Info.Defs[name]; obj != nil {
+					st[lockKey{obj, mu}] = true
+				}
+			}
+		}
+	}
+	w.stmts(fd.Body.List, st)
+}
+
+// stmts runs the must-hold walk over a statement list, returning the
+// exit state and whether every path through the list terminates
+// (return/branch) before falling through.
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.lockOp(s.X); ok {
+			w.checkExpr(s.X, st)
+			next := st.clone()
+			if op == "Lock" || op == "RLock" {
+				next[key] = true
+			} else {
+				delete(next, key)
+			}
+			return next, false
+		}
+		w.checkExpr(s.X, st)
+		return st, false
+
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the mutex held through every
+		// subsequent statement; other defers are just checked.
+		if _, op, ok := w.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return st, false
+		}
+		w.checkExpr(s.Call, st)
+		return st, false
+
+	case *ast.GoStmt:
+		// The goroutine body runs without the creator's locks.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, lockState{})
+		} else {
+			w.checkExpr(s.Call.Fun, st)
+		}
+		return st, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, st)
+		}
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as terminating this path; the
+		// targets are re-entered with the loop's entry state.
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st.clone())
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.checkExpr(s.Cond, st)
+		bodyExit, bodyTerm := w.stmts(s.Body.List, st.clone())
+		elseExit, elseTerm := st, false
+		if s.Else != nil {
+			elseExit, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return st, true
+		case bodyTerm:
+			return elseExit, false
+		case elseTerm:
+			return bodyExit, false
+		default:
+			return intersect(bodyExit, elseExit), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, st)
+		}
+		bodyExit, bodyTerm := w.stmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, bodyExit)
+		}
+		if bodyTerm || (s.Cond == nil && s.Post == nil) {
+			// Body never falls through, or `for {}`: the loop exit is
+			// reached via break paths — keep the conservative entry
+			// state.
+			return st, false
+		}
+		return intersect(st, bodyExit), false
+
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, st)
+		bodyExit, bodyTerm := w.stmts(s.Body.List, st.clone())
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodyExit), false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, st)
+		}
+		return w.clauses(s.Body, st, hasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.clauses(s.Body, st, hasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, st, true)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, st)
+		w.checkExpr(s.Value, st)
+		return st, false
+
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, st)
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+// clauses merges the case bodies of a switch/select by intersection;
+// without a default clause the zero-case fall-through (entry state) is
+// part of the merge.
+func (w *lockWalker) clauses(body *ast.BlockStmt, st lockState, hasDefault bool) (lockState, bool) {
+	var exits []lockState
+	allTerm := true
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.checkExpr(e, st)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, st)
+			}
+			list = c.Body
+		}
+		exit, term := w.stmts(list, st.clone())
+		if !term {
+			exits = append(exits, exit)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, st)
+		allTerm = false
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	out := st
+	for i, e := range exits {
+		if i == 0 {
+			out = e
+		} else {
+			out = intersect(out, e)
+		}
+	}
+	return out, false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp recognizes x.mu.Lock() / Unlock() / RLock() / RUnlock() where
+// x is a plain identifier and mu is a field of x's struct type.
+func (w *lockWalker) lockOp(e ast.Expr) (lockKey, string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	obj := w.pkg.Info.ObjectOf(base)
+	if obj == nil {
+		return lockKey{}, "", false
+	}
+	return lockKey{obj, inner.Sel.Name}, op, true
+}
+
+// checkExpr reports guarded-field accesses in e that are not covered by
+// the held set. Function literals are excluded here and analyzed with
+// an empty state: a closure's body runs at an unknown time.
+func (w *lockWalker) checkExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, lockState{})
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := w.pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := w.guards[field]
+		if !guarded {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			// Guarded field reached through a compound expression:
+			// outside the must-hold domain, skip rather than guess.
+			return true
+		}
+		obj := w.pkg.Info.ObjectOf(base)
+		if obj == nil {
+			return true
+		}
+		if !st[lockKey{obj, mu}] {
+			w.pass.Reportf(sel.Pos(),
+				"field %s is guarded by %s but accessed without holding %s.%s",
+				field.Name(), mu, base.Name, mu)
+		}
+		return true
+	})
+}

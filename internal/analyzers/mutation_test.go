@@ -1,0 +1,89 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reusetool/internal/analyzers"
+	"reusetool/internal/analyzers/analysis"
+)
+
+// TestDeterminismCatchesDroppedSort is a seeded-mutation test: it takes
+// the correct report builder from testdata/src/mutation, deletes its
+// sort call, and asserts the determinism analyzer flags the mutated
+// copy. This pins down that the analyzer guards the exact regression it
+// exists for — quietly losing the collect-then-sort discipline — rather
+// than some incidental property of the fixtures.
+func TestDeterminismCatchesDroppedSort(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "mutation", "report.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pristine original must be clean.
+	pristine, err := analysis.LoadTree(filepath.Join("testdata", "src"), "mutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pristine, []*analysis.Analyzer{analyzers.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("pristine report builder: unexpected diagnostic %s", d.Message)
+	}
+
+	// Mutate: drop the sort call, leaving collect-then-emit in map order.
+	var kept []string
+	removed := false
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "sort.Strings(") {
+			removed = true
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if !removed {
+		t.Fatal("fixture no longer contains a sort.Strings call to remove")
+	}
+	mutated := strings.Join(kept, "\n")
+	// The sort import is now unused; keep the file compiling.
+	mutated = strings.Replace(mutated, "\"sort\"\n", "", 1)
+
+	root := t.TempDir()
+	dir := filepath.Join(root, "mutation")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := analysis.LoadTree(root, "mutation")
+	if err != nil {
+		t.Fatalf("loading mutated package: %v", err)
+	}
+	diags, err = analysis.Run(prog, []*analysis.Analyzer{analyzers.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "never sorted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("determinism analyzer missed the dropped sort; diagnostics: %v", messages(diags))
+	}
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

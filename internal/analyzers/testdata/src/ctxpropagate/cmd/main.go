@@ -1,0 +1,21 @@
+// Command main shows the package-main carve-out: a program entry point
+// may mint root contexts, but a main-package function that already
+// received a context must still thread it.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // fine: main is where roots come from
+	_ = run(ctx)
+}
+
+func helper() context.Context {
+	return context.Background() // fine in package main
+}
+
+func run(ctx context.Context) error {
+	sub := context.Background() // want `function receives a context\.Context but mints context\.Background; thread the caller's context instead`
+	_ = sub
+	return ctx.Err()
+}

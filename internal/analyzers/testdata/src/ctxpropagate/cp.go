@@ -1,0 +1,50 @@
+// Package ctxpropagate is the analysistest fixture for the
+// ctxpropagate analyzer: library code must thread received contexts
+// and may only mint root contexts under //reuse:ctx-root.
+package ctxpropagate
+
+import (
+	"context"
+	"time"
+)
+
+// Lib mints a root context in library code with no annotation.
+func Lib() {
+	ctx := context.Background() // want `context\.Background in library code; accept a context\.Context from the caller or annotate the function //reuse:ctx-root`
+	_ = ctx
+}
+
+// Todo is the same finding for context.TODO.
+func Todo() {
+	_ = context.TODO() // want `context\.TODO in library code`
+}
+
+// Root is a sanctioned lifecycle root, like the compatibility wrappers
+// that predate context plumbing.
+//
+//reuse:ctx-root
+func Root() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// Threads receives a context and passes it along: the good case.
+func Threads(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// Rebases receives a context but mints a fresh root anyway, severing
+// the caller's deadline and cancellation.
+func Rebases(ctx context.Context) error {
+	fresh := context.Background() // want `function receives a context\.Context but mints context\.Background; thread the caller's context instead`
+	_ = ctx
+	return work(fresh)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

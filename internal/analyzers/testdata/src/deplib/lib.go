@@ -1,0 +1,41 @@
+// Package deplib is the defining side of the deprecated-analyzer
+// fixture: it declares deprecated entry points and is allowed to keep
+// using them internally (the compatibility wrappers are implemented in
+// terms of each other).
+package deplib
+
+// Old is the pre-context entry point.
+//
+// Deprecated: use New instead.
+func Old() int { return New() }
+
+// New is the replacement.
+func New() int { return 1 }
+
+// Legacy is an obsolete alias.
+//
+// Deprecated: use Report.
+type Legacy struct{ N int }
+
+// Report replaces Legacy.
+type Report struct{ N int }
+
+// Config carries options; one knob is obsolete.
+type Config struct {
+	Depth int
+
+	// Deprecated: set Depth instead.
+	MaxLevels int
+}
+
+// Deprecated: use DefaultDepth.
+const OldDepth = 8
+
+// DefaultDepth is the supported constant.
+const DefaultDepth = 8
+
+// compat keeps calling the deprecated surface from inside the defining
+// package, which is sanctioned.
+func compat() (int, Legacy, int) {
+	return Old(), Legacy{N: 2}, OldDepth
+}

@@ -1,0 +1,19 @@
+// Package depuse is the consuming side of the deprecated-analyzer
+// fixture: every use of deplib's deprecated surface from here is a
+// finding; the supported replacements are not.
+package depuse
+
+import "deplib"
+
+func Use() int {
+	n := deplib.Old() // want `use of deprecated function deplib\.Old: use New instead\.`
+	n += deplib.New()
+	var l deplib.Legacy // want `use of deprecated type deplib\.Legacy: use Report\.`
+	_ = l
+	var r deplib.Report
+	_ = r
+	cfg := deplib.Config{Depth: 4}
+	cfg.MaxLevels = deplib.OldDepth // want `use of deprecated field deplib\.MaxLevels: set Depth instead\.` `use of deprecated constant deplib\.OldDepth: use DefaultDepth\.`
+	_ = deplib.DefaultDepth
+	return n + cfg.Depth
+}

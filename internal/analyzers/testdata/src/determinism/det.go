@@ -1,0 +1,132 @@
+// Package determinism is the analysistest fixture for the determinism
+// analyzer. The positive cases port tools/lint's metric-map tests
+// (printing and writer methods inside a map range); the negative cases
+// are the sanctioned collect-then-sort pattern and pure accumulation.
+package determinism
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Level mirrors the metric maps of internal/metrics.LevelReport.
+type Level struct {
+	MissesByArray     map[string]float64
+	FragMissesByArray map[string]float64
+	CarriedByScope    map[int]float64
+	Patterns          []string
+}
+
+// printInMapOrder is tools/lint's TestFlagsPrintingInMapOrder case.
+func printInMapOrder(lr *Level) {
+	for a, v := range lr.MissesByArray { // want `ranging over map lr\.MissesByArray reaches fmt\.Printf in nondeterministic map order`
+		fmt.Printf("%s %f\n", a, v)
+	}
+}
+
+// collectThenSort is the sanctioned pattern: accumulate, sort, emit.
+func collectThenSort(lr *Level) {
+	names := make([]string, 0)
+	for a := range lr.MissesByArray {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		fmt.Println(a, lr.MissesByArray[a])
+	}
+	var total float64
+	for _, v := range lr.FragMissesByArray {
+		total += v
+	}
+	_ = total
+}
+
+// collectForgetSort collects the keys but emits them unsorted — the
+// shape the seeded-mutation test produces by deleting a sort call.
+func collectForgetSort(lr *Level) {
+	var names []string
+	for a := range lr.MissesByArray {
+		names = append(names, a)
+	}
+	for _, a := range names { // want `collected from a map iteration and never sorted`
+		fmt.Println(a)
+	}
+}
+
+// sortAfterEmitting sorts too late: the emitting range still sees map
+// order.
+func sortAfterEmitting(lr *Level) {
+	var names []string
+	for a := range lr.MissesByArray {
+		names = append(names, a)
+	}
+	for _, a := range names { // want `collected from a map iteration and never sorted`
+		fmt.Println(a)
+	}
+	sort.Strings(names)
+}
+
+// writerMethods is tools/lint's TestFlagsWriterMethods case, with a
+// real io.Writer implementation behind the method.
+func writerMethods(b *strings.Builder, lr *Level) {
+	for s := range lr.CarriedByScope { // want `reaches strings\.Builder\.WriteString in nondeterministic map order`
+		b.WriteString(fmt.Sprint(s))
+	}
+}
+
+// encoderSink: streaming one JSON document per map element leaks map
+// order even though encoding/json sorts keys inside one document.
+func encoderSink(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m { // want `reaches json\.Encoder\.Encode in nondeterministic map order`
+		_ = enc.Encode(k)
+	}
+}
+
+// hashSink: FNV fingerprints folded in map order differ run to run.
+func hashSink(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m { // want `reaches hash\.Hash64\.Write in nondeterministic map order`
+		_, _ = h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+// sliceRangeIsFine: ranging over an ordinary slice with output is the
+// normal, deterministic case (tools/lint's TestIgnoresOtherMaps
+// analogue, now type-aware instead of name-based).
+func sliceRangeIsFine(lr *Level) {
+	for _, p := range lr.Patterns {
+		fmt.Println(p)
+	}
+}
+
+// sortSliceComparator: sorting through sort.Slice also clears the
+// taint (the comparator is a closure argument, not a key list).
+func sortSliceComparator(m map[string]float64, w io.Writer) {
+	type kv struct {
+		k string
+		v float64
+	}
+	var rows []kv
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s %f\n", r.k, r.v)
+	}
+}
+
+// accumulateOnly: a map range that only sums is pure accumulation.
+func accumulateOnly(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

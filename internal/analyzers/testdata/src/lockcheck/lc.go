@@ -1,0 +1,108 @@
+// Package lockcheck is the analysistest fixture for the lockcheck
+// analyzer: a cache shaped like internal/server.ResultCache with
+// "guarded by mu" field annotations, exercised by correct and
+// incorrect locking patterns.
+package lockcheck
+
+import "sync"
+
+type Cache struct {
+	mu    sync.Mutex
+	byKey map[string]int // guarded by mu
+	ll    []string       // guarded by mu
+	dir   string         // immutable after construction
+}
+
+// Good uses the canonical lock/defer-unlock shape.
+func (c *Cache) Good(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = append(c.ll, k)
+	return c.byKey[k]
+}
+
+// AlsoGood releases explicitly; accesses after the Unlock would be
+// flagged, accesses between Lock and Unlock are fine.
+func (c *Cache) AlsoGood(k string, v int) {
+	c.mu.Lock()
+	c.byKey[k] = v
+	c.mu.Unlock()
+	_ = c.dir // unguarded field, always fine
+}
+
+// Bad reads a guarded field with no lock at all.
+func (c *Cache) Bad(k string) int {
+	return c.byKey[k] // want `field byKey is guarded by mu but accessed without holding c\.mu`
+}
+
+// AfterUnlock touches a guarded field once the mutex is released.
+func (c *Cache) AfterUnlock(k string) int {
+	c.mu.Lock()
+	n := c.byKey[k]
+	c.mu.Unlock()
+	c.ll = nil // want `field ll is guarded by mu but accessed without holding c\.mu`
+	_ = k
+	return n
+}
+
+// BranchLeak only locks on one branch: at the merge point the mutex is
+// not held on every path, so the access is flagged.
+func (c *Cache) BranchLeak(k string, lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.byKey[k] // want `field byKey is guarded by mu but accessed without holding c\.mu`
+}
+
+// BranchReturn is the sanctioned early-return shape: the unlocked
+// branch terminates, so the fall-through path always holds mu.
+func (c *Cache) BranchReturn(k string, ok bool) int {
+	if !ok {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byKey[k]
+}
+
+// pruneLocked declares the caller-holds-mu contract, the scheduler's
+// prune() pattern.
+//
+//reuse:locked(mu)
+func (c *Cache) pruneLocked(max int) {
+	for len(c.ll) > max {
+		k := c.ll[0]
+		c.ll = c.ll[1:]
+		delete(c.byKey, k)
+	}
+}
+
+// GoLeak spawns a goroutine while holding the lock; the goroutine body
+// does not inherit the held set.
+func (c *Cache) GoLeak(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = append(c.ll, k)
+	go func() {
+		delete(c.byKey, k) // want `field byKey is guarded by mu but accessed without holding c\.mu`
+	}()
+}
+
+// RWCache shows RLock/RUnlock counting as held.
+type RWCache struct {
+	mu   sync.RWMutex
+	hits int // guarded by mu
+}
+
+func (r *RWCache) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hits
+}
+
+// Broken names a mutex that does not exist; the annotation itself is
+// the finding.
+type Broken struct {
+	n int // guarded by lock // want `field is annotated 'guarded by lock' but the struct has no field lock`
+}

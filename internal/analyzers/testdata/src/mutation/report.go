@@ -1,0 +1,29 @@
+// Package mutation is the seed for the determinism analyzer's
+// mutation test: a correctly written report builder in the style of
+// internal/metrics. The test makes a copy with the sort call deleted
+// and asserts the analyzer catches the regression; this original must
+// stay finding-free.
+package mutation
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report aggregates per-array miss counts, like a LevelReport.
+type Report struct {
+	MissesByArray map[string]float64
+}
+
+// WriteTo emits one line per array in deterministic name order.
+func (r *Report) WriteTo(w io.Writer) {
+	names := make([]string, 0, len(r.MissesByArray))
+	for name := range r.MissesByArray {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %.2f\n", name, r.MissesByArray[name])
+	}
+}

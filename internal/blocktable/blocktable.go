@@ -93,6 +93,8 @@ func NewRadixHint(blockHint int) *Radix {
 }
 
 // LookupStore implements Table.
+//
+//reuse:hotpath
 func (r *Radix) LookupStore(block uint64, e Entry) (Entry, bool) {
 	hi := block >> leafBits
 	lf := r.lastLeaf
@@ -140,6 +142,8 @@ func NewMap() *Map {
 }
 
 // LookupStore implements Table.
+//
+//reuse:hotpath
 func (t *Map) LookupStore(block uint64, e Entry) (Entry, bool) {
 	prev, ok := t.m[block]
 	t.m[block] = e

@@ -10,6 +10,7 @@ import (
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
+	"reusetool/internal/ostree"
 	"reusetool/internal/pipeline"
 	"reusetool/internal/reusedist"
 	"reusetool/internal/scope"
@@ -99,7 +100,10 @@ type Pipeline struct {
 	Options
 }
 
-// Run executes the pipeline and builds the full Result.
+// Run executes the pipeline and builds the full Result. It is the
+// no-context convenience entry point; use RunContext to bound the run.
+//
+//reuse:ctx-root
 func (p Pipeline) Run() (*Result, error) {
 	return p.RunContext(context.Background())
 }
@@ -161,7 +165,10 @@ func finalized(prog *ir.Program, info *ir.Info) (*ir.Info, error) {
 // block tables, tree windows and per-ref/per-scope tables are sized once
 // up front instead of growing on the per-access path.
 func (p Pipeline) newCollector(info *ir.Info, footprint uint64) *reusedist.Collector {
-	base := reusedist.Config{HistRes: p.HistRes, UseFenwick: p.UseFenwick}
+	base := reusedist.Config{HistRes: p.HistRes}
+	if p.UseFenwick {
+		base.Tree = ostree.KindFenwick
+	}
 	base.Hints.FootprintBytes = footprint
 	if info != nil {
 		base.Hints.Refs = len(info.Refs)

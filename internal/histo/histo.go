@@ -99,6 +99,8 @@ func (h *Histogram) binBounds(idx uint32) (lo, hi uint64) {
 // Add records one sample of distance d. Pass Cold for compulsory accesses.
 // This is the per-reuse-arc hot path: small distances (the common case on
 // stencil/stream reuse) index the flat store directly without the log2.
+//
+//reuse:hotpath
 func (h *Histogram) Add(d uint64) {
 	if d < linearMax && int(d) < len(h.counts) {
 		// Fast path: linear bin already allocated — one indexed add.
@@ -116,6 +118,8 @@ func (h *Histogram) Add(d uint64) {
 }
 
 // AddN records n samples of distance d.
+//
+//reuse:hotpath
 func (h *Histogram) AddN(d uint64, n uint64) {
 	if n == 0 {
 		return

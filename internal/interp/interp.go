@@ -132,7 +132,10 @@ func (r *Result) AvgTrips(s trace.ScopeID, def float64) float64 {
 }
 
 // Run executes info's program with the given parameter overrides, feeding
-// events to h.
+// events to h. It is the no-context convenience entry point; use
+// RunContext to make execution interruptible.
+//
+//reuse:ctx-root
 func Run(info *ir.Info, params map[string]int64, h trace.Handler, opts ...Option) (*Result, error) {
 	return RunContext(context.Background(), info, params, h, opts...)
 }

@@ -300,6 +300,8 @@ func (e *Engine) context() uint64 {
 
 // Access implements trace.Handler. An access spanning multiple blocks is
 // processed as one access per touched block.
+//
+//reuse:hotpath
 func (e *Engine) Access(ref trace.RefID, addr uint64, size uint32, _ bool) {
 	bb := e.cfg.BlockBits
 	first := addr >> bb
@@ -365,6 +367,8 @@ func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
 
 // growScopeAccesses extends the per-scope counters to cover scope index i;
 // kept out of line so the hot path carries only the bounds check.
+//
+//reuse:coldpath
 func (e *Engine) growScopeAccesses(i int) {
 	for i >= len(e.scopeAccesses) {
 		e.scopeAccesses = append(e.scopeAccesses, 0)
@@ -393,6 +397,8 @@ func (rd *RefData) pattern(key PatternKey, e *Engine) *Pattern {
 }
 
 // newPattern allocates a pattern from the engine's slabs.
+//
+//reuse:coldpath
 func (e *Engine) newPattern(key PatternKey) *Pattern {
 	if len(e.patSlab) == 0 {
 		e.patSlab = make([]Pattern, slabSize)
@@ -424,6 +430,8 @@ func (e *Engine) refData(ref trace.RefID, cur trace.ScopeID) *RefData {
 
 // newRefData grows the per-reference table and allocates a RefData from the
 // engine's slab; cold path of refData.
+//
+//reuse:coldpath
 func (e *Engine) newRefData(ref trace.RefID, cur trace.ScopeID) *RefData {
 	for int(ref) >= len(e.refs) {
 		e.refs = append(e.refs, nil)

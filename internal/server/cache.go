@@ -58,8 +58,8 @@ type ResultCache struct {
 	// critical sections.
 	mu      sync.Mutex
 	max     int
-	ll      *list.List
-	byKey   map[string]*list.Element
+	ll      *list.List               // guarded by mu
+	byKey   map[string]*list.Element // guarded by mu
 	dir     string
 	metrics *Metrics
 }

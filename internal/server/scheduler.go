@@ -42,15 +42,15 @@ type Job struct {
 	run func(ctx context.Context) (*CacheEntry, error)
 
 	mu        sync.Mutex
-	status    JobStatus
-	err       string
-	result    *CacheEntry
-	cacheHit  bool
-	canceled  bool // cancel requested while still queued
-	cancel    context.CancelFunc
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	status    JobStatus          // guarded by mu
+	err       string             // guarded by mu
+	result    *CacheEntry        // guarded by mu
+	cacheHit  bool               // guarded by mu
+	canceled  bool               // guarded by mu; cancel requested while still queued
+	cancel    context.CancelFunc // guarded by mu
+	submitted time.Time          // guarded by mu
+	started   time.Time          // guarded by mu
+	finished  time.Time          // guarded by mu
 	done      chan struct{}
 }
 
@@ -97,14 +97,14 @@ type Scheduler struct {
 	metrics *Metrics
 
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // job IDs in submission order, for pruning
-	seq      uint64
-	draining bool
+	jobs     map[string]*Job // guarded by mu
+	order    []string        // guarded by mu; job IDs in submission order, for pruning
+	seq      uint64          // guarded by mu
+	draining bool            // guarded by mu
 
 	running sync.WaitGroup // one count per worker goroutine
-	active  sync.Mutex     // guards activeN
-	activeN int
+	active  sync.Mutex
+	activeN int // guarded by active
 
 	defaultTimeout time.Duration
 	maxJobs        int
@@ -167,6 +167,8 @@ func (s *Scheduler) NewJob(key string, timeout time.Duration, run func(ctx conte
 
 // prune drops the oldest terminal jobs once the registry exceeds
 // maxJobs, bounding memory under sustained traffic. Caller holds s.mu.
+//
+//reuse:locked(mu)
 func (s *Scheduler) prune() {
 	for len(s.jobs) > s.maxJobs {
 		pruned := false
@@ -329,6 +331,11 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// runJob executes one job under its own timeout. The job context is
+// deliberately rooted here rather than derived from the submitting HTTP
+// request: a queued job must survive the submitter disconnecting.
+//
+//reuse:ctx-root
 func (s *Scheduler) runJob(j *Job) {
 	j.mu.Lock()
 	if j.canceled {
