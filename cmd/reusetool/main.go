@@ -82,11 +82,11 @@ import (
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
-	"reusetool/internal/server"
 	"reusetool/internal/trace"
 	"reusetool/internal/tracefile"
 	"reusetool/internal/viewer"
 	"reusetool/internal/workloads"
+	"reusetool/pkg/client"
 )
 
 type paramList map[string]int64
@@ -304,7 +304,7 @@ func run() int {
 	}
 
 	if mode == modeRemote {
-		req := server.AnalyzeRequest{
+		req := client.AnalyzeRequest{
 			Workload:  *workload,
 			Params:    params,
 			Level:     *level,
@@ -324,7 +324,13 @@ func run() int {
 			req.Workload, req.Program = "", string(data)
 		}
 		if err := runRemote(ctx, *remote, req, os.Stdout, os.Stderr); err != nil {
-			return fail(err)
+			// Typed API errors print their machine-readable code so
+			// scripted callers can branch on stderr.
+			fmt.Fprintln(os.Stderr, describeRemoteError(err))
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return 3
+			}
+			return 1
 		}
 		return 0
 	}

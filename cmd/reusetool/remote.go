@@ -1,56 +1,45 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"net/http"
-	"strings"
-	"time"
 
-	"reusetool/internal/server"
+	"reusetool/pkg/client"
 )
 
-// pollInterval paces the job-status poll in -remote mode. Cache hits
-// and small workloads return on the first request; the interval only
-// matters for long analyses.
-const pollInterval = 100 * time.Millisecond
-
-// runRemote is the -remote client: it submits the request to a
-// reusetoold daemon, polls the job to completion, and prints the
-// daemon-rendered report. A 200 response is a cache hit served without
-// scheduling; a 202 queues a job to poll. Context cancellation (the
-// -timeout flag) aborts the poll and best-effort cancels the job
+// runRemote is the -remote client, built on the typed pkg/client API:
+// it submits the request to a reusetoold daemon (or a cluster
+// coordinator — both serve the same v1 surface), waits for the job to
+// finish, and prints the daemon-rendered report. Temporary rejections
+// (queue full, draining, coordinator upstream failures) are retried
+// with jittered backoff inside the client. Context cancellation (the
+// -timeout flag) aborts the wait and best-effort cancels the job
 // server-side.
-func runRemote(ctx context.Context, base string, req server.AnalyzeRequest, out, errw io.Writer) error {
-	base = strings.TrimRight(base, "/")
-	payload, err := json.Marshal(req)
+func runRemote(ctx context.Context, base string, req client.AnalyzeRequest, out, errw io.Writer) error {
+	cl := client.New(base)
+	job, err := cl.Analyze(ctx, req)
 	if err != nil {
 		return err
 	}
-	job, status, err := doJSON(ctx, http.MethodPost, base+"/v1/analyze", payload)
-	if err != nil {
-		return fmt.Errorf("submit to %s: %w", base, err)
-	}
-	switch status {
-	case http.StatusOK:
-		fmt.Fprintf(errw, "served from daemon cache (key %.12s…)\n", job.Key)
-	case http.StatusAccepted:
-		fmt.Fprintf(errw, "job %s queued on %s\n", job.ID, base)
-		if job, err = pollJob(ctx, base, job.ID); err != nil {
+	if !job.CacheHit && !job.Status.Terminal() {
+		fmt.Fprintf(errw, "job %s queued on %s\n", job.ID, cl.BaseURL())
+		if job, err = cl.Wait(ctx, job.ID); err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("submit to %s: status %d: %s", base, status, job.Error)
+	}
+	// Against a coordinator the hit surfaces on the polled document, not
+	// the 202 — check after the wait so both paths report it.
+	if job.CacheHit {
+		fmt.Fprintf(errw, "served from daemon cache (key %.12s…)\n", job.Key)
 	}
 
 	switch job.Status {
-	case server.JobDone:
+	case client.JobDone:
 		_, err := io.WriteString(out, job.Report)
 		return err
-	case server.JobCanceled:
+	case client.JobCanceled:
 		// The job deadline is the -timeout flag's server-side half; map
 		// it onto the same exit status as a local deadline.
 		return fmt.Errorf("job %s canceled (%s): %w", job.ID, job.Error, context.DeadlineExceeded)
@@ -59,57 +48,12 @@ func runRemote(ctx context.Context, base string, req server.AnalyzeRequest, out,
 	}
 }
 
-// pollJob waits for a terminal job status, canceling the job remotely
-// if ctx expires first.
-func pollJob(ctx context.Context, base, id string) (*server.JobJSON, error) {
-	url := base + "/v1/jobs/" + id
-	for {
-		select {
-		case <-ctx.Done():
-			// ctx is already dead, but the daemon should still stop working
-			// on our behalf: detach from the cancellation while keeping the
-			// caller's context values.
-			cancelCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
-			_, _, _ = doJSON(cancelCtx, http.MethodDelete, url, nil)
-			cancel()
-			return nil, fmt.Errorf("waiting for job %s: %w", id, ctx.Err())
-		case <-time.After(pollInterval):
-		}
-		job, status, err := doJSON(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			return nil, fmt.Errorf("poll job %s: %w", id, err)
-		}
-		if status != http.StatusOK {
-			return nil, fmt.Errorf("poll job %s: status %d: %s", id, status, job.Error)
-		}
-		if job.Status != server.JobQueued && job.Status != server.JobRunning {
-			return job, nil
-		}
+// describeRemoteError unwraps a typed API error for the exit message,
+// so scripted callers see the machine-readable code.
+func describeRemoteError(err error) string {
+	var apiErr *client.Error
+	if errors.As(err, &apiErr) {
+		return fmt.Sprintf("%s: %s", apiErr.Code, apiErr.Message)
 	}
-}
-
-// doJSON performs one API round-trip. Error responses ({"error": ...})
-// decode into JobJSON.Error, so every response fits one wire struct.
-func doJSON(ctx context.Context, method, url string, body []byte) (*server.JobJSON, int, error) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, url, rd)
-	if err != nil {
-		return nil, 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	var j server.JobJSON
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
-		return nil, resp.StatusCode, fmt.Errorf("%s %s: status %d: decode: %v", method, url, resp.StatusCode, err)
-	}
-	return &j, resp.StatusCode, nil
+	return err.Error()
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"reusetool/internal/server"
+	"reusetool/pkg/client"
 )
 
 func TestResolveModeRemote(t *testing.T) {
@@ -44,7 +45,7 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	req := server.AnalyzeRequest{Workload: "fig2"}
+	req := client.AnalyzeRequest{Workload: "fig2"}
 	var cold, warm, errw bytes.Buffer
 	if err := runRemote(context.Background(), ts.URL, req, &cold, &errw); err != nil {
 		t.Fatalf("cold: %v (%s)", err, errw.String())
@@ -71,18 +72,18 @@ func TestRunRemoteCanceledJobMapsToDeadline(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(server.JobJSON{ID: "j1", Status: server.JobQueued})
+		json.NewEncoder(w).Encode(client.Job{ID: "j1", Status: client.JobQueued})
 	})
 	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(server.JobJSON{
-			ID: "j1", Status: server.JobCanceled, Error: "job deadline exceeded",
+		json.NewEncoder(w).Encode(client.Job{
+			ID: "j1", Status: client.JobCanceled, Error: "job deadline exceeded",
 		})
 	})
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
 	var out, errw bytes.Buffer
-	err := runRemote(context.Background(), ts.URL, server.AnalyzeRequest{Workload: "fig2"}, &out, &errw)
+	err := runRemote(context.Background(), ts.URL, client.AnalyzeRequest{Workload: "fig2"}, &out, &errw)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}

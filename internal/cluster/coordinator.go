@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"reusetool/internal/server"
+	"reusetool/pkg/client"
+)
+
+// Config shapes a Coordinator.
+type Config struct {
+	// Peers are the worker daemon base URLs (e.g. "http://127.0.0.1:8375").
+	Peers []string
+	// VNodes is the consistent-hash virtual-node count per worker
+	// (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval paces the health prober (default 2s); ProbeTimeout
+	// bounds one probe (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailAfter is the consecutive probe or poll failures before a node
+	// is evicted from the ring (default 3).
+	FailAfter int
+	// SubmitRounds bounds how many passes over the healthy preference
+	// list a job makes before failing as unavailable (default 3).
+	SubmitRounds int
+	// RetryBase/RetryMax shape the jittered backoff between failed
+	// submit attempts (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// PollInterval paces job polling on the workers (default 50ms).
+	PollInterval time.Duration
+	// MaxBodyBytes bounds analyze request bodies (default 16 MiB).
+	MaxBodyBytes int64
+	// HTTPClient substitutes the transport used for all worker traffic
+	// (default a fresh http.Client).
+	HTTPClient *http.Client
+}
+
+func (cfg *Config) fill() {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.SubmitRounds <= 0 {
+		cfg.SubmitRounds = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+}
+
+// nodeState is one worker's bookkeeping. All mutable fields are
+// guarded by the Coordinator's mu.
+type nodeState struct {
+	url string
+	cli *client.Client
+
+	healthy  bool
+	failures int
+	inflight int
+}
+
+// proxyJob is one analysis the coordinator owns end to end: the client
+// talks only to the coordinator (by the coordinator-minted ID), while
+// a dedicated watcher goroutine drives the job on whichever worker the
+// ring assigns, re-routing when that worker dies.
+type proxyJob struct {
+	id  string
+	key string
+	req client.AnalyzeRequest
+
+	// mu guards the live state below.
+	mu       sync.Mutex
+	doc      client.Job // guarded by mu
+	node     string     // guarded by mu
+	remoteID string     // guarded by mu
+	canceled bool       // guarded by mu
+
+	done chan struct{}
+}
+
+// snapshot copies the job document under the lock.
+func (j *proxyJob) snapshot() client.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doc
+}
+
+func (j *proxyJob) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// Coordinator fronts a fleet of worker daemons with the same v1 API a
+// single daemon serves, plus GET /v1/nodes. Jobs are sharded by their
+// content-addressed cache key over a consistent-hash ring, so repeat
+// submissions of the same analysis reach the same worker and its warm
+// cache; a health prober evicts dead workers and the per-job watchers
+// re-route their jobs to the ring successor, so killing a worker loses
+// no accepted job.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// mu guards the node table and job registry below.
+	mu       sync.Mutex
+	nodes    map[string]*nodeState // guarded by mu
+	jobs     map[string]*proxyJob  // guarded by mu
+	order    []string              // guarded by mu
+	nextID   int                   // guarded by mu
+	draining bool                  // guarded by mu
+
+	watchers sync.WaitGroup
+}
+
+// New builds a coordinator over cfg.Peers. All peers start healthy and
+// in the ring — the prober (Start) and the per-job watchers demote
+// them on evidence.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fill()
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one peer")
+	}
+	nodes := map[string]*nodeState{}
+	ring := NewRing(cfg.VNodes)
+	for _, p := range cfg.Peers {
+		ns := &nodeState{
+			url: p,
+			cli: client.New(p,
+				client.WithHTTPClient(cfg.HTTPClient),
+				client.WithRetry(client.Retry{Attempts: 2, Base: cfg.RetryBase, Max: cfg.RetryMax})),
+			healthy: true,
+		}
+		ns.url = ns.cli.BaseURL()
+		if _, dup := nodes[ns.url]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer %s", p)
+		}
+		nodes[ns.url] = ns
+		ring.Add(ns.url)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    ring,
+		metrics: NewMetrics(),
+		nodes:   nodes,
+		jobs:    map[string]*proxyJob{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", c.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs", c.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobCancel)
+	mux.HandleFunc("GET /v1/nodes", c.handleNodes)
+	mux.HandleFunc("GET /v1/health", c.handleHealth)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Metrics exposes the counter registry.
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Ring exposes the hash ring (for tests and shard inspection).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Start launches the health prober; it stops when ctx is canceled.
+func (c *Coordinator) Start(ctx context.Context) {
+	go c.probeLoop(ctx)
+}
+
+// Drain stops job intake and waits for every in-flight proxied job to
+// reach a terminal state, bounded by ctx.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.watchers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain: %w", ctx.Err())
+	}
+}
+
+// probeLoop probes every configured peer each interval, evicting after
+// FailAfter consecutive failures and re-admitting on the first success.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, ns := range c.nodeList() {
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			h, err := ns.cli.Health(pctx)
+			cancel()
+			if err == nil && h.Status == "ok" {
+				c.noteAlive(ns)
+			} else {
+				c.metrics.ProbeFailures.Add(1)
+				c.noteDead(ns, false)
+			}
+		}
+	}
+}
+
+// nodeList snapshots the node table in sorted URL order.
+func (c *Coordinator) nodeList() []*nodeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*nodeState, 0, len(c.nodes))
+	for _, ns := range c.nodes {
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].url < out[j].url })
+	return out
+}
+
+// noteAlive resets the failure count and re-admits an evicted node.
+func (c *Coordinator) noteAlive(ns *nodeState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns.failures = 0
+	if !ns.healthy {
+		ns.healthy = true
+		c.ring.Add(ns.url)
+		c.metrics.NodesRejoined.Add(1)
+	}
+}
+
+// noteDead records one failure; after FailAfter consecutive failures —
+// or immediately when force is set (a watcher saw the node drop
+// mid-job) — the node leaves the ring.
+func (c *Coordinator) noteDead(ns *nodeState, force bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns.failures++
+	if !ns.healthy {
+		return
+	}
+	if force || ns.failures >= c.cfg.FailAfter {
+		ns.healthy = false
+		c.ring.Remove(ns.url)
+		c.metrics.NodesEvicted.Add(1)
+	}
+}
+
+// healthyNode returns the node state if url is currently in the ring.
+func (c *Coordinator) healthyNode(url string) (*nodeState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.nodes[url]
+	if !ok || !ns.healthy {
+		return nil, false
+	}
+	return ns, true
+}
+
+func (c *Coordinator) addInflight(ns *nodeState, d int) {
+	c.mu.Lock()
+	ns.inflight += d
+	c.mu.Unlock()
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (1-based): base*2^(attempt-1) capped at max, minus up to half.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	return d - time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// watch drives one proxied job to completion: submit to the ring owner
+// (walking successors on failure), poll until terminal, and re-route
+// to the next owner if the worker dies mid-job. It owns j.doc — the
+// HTTP handlers only read snapshots.
+//
+// The watcher deliberately roots its own contexts rather than using
+// any request context: the job must outlive the submission request.
+//
+//reuse:ctx-root
+func (c *Coordinator) watch(j *proxyJob) {
+	defer c.watchers.Done()
+	defer close(j.done)
+	rerouted := -1 // first placement is not a reroute
+	for round := 0; round < c.cfg.SubmitRounds; round++ {
+		if j.isCanceled() {
+			c.finishLocal(j, client.JobCanceled, "canceled before placement")
+			return
+		}
+		ns, doc := c.placeJob(j)
+		if ns == nil {
+			if j.snapshot().Status.Terminal() {
+				return
+			}
+			if c.sleepBackoff(round + 1) {
+				continue
+			}
+			break
+		}
+		rerouted++
+		if rerouted > 0 {
+			c.metrics.JobsRerouted.Add(1)
+		}
+		round = 0 // a successful placement resets the failure budget
+		c.updateDoc(j, ns.url, rerouted, doc)
+		if doc.Status.Terminal() {
+			c.addInflight(ns, -1)
+			return
+		}
+		if c.pollUntilDone(j, ns, rerouted) {
+			return
+		}
+		// The worker dropped mid-job: evict it and go place the job on
+		// the ring successor.
+		c.noteDead(ns, true)
+	}
+	c.finishLocal(j, client.JobFailed, "no healthy worker accepted the job")
+}
+
+// sleepBackoff pauses between placement rounds; false means give up
+// (final round).
+func (c *Coordinator) sleepBackoff(attempt int) bool {
+	if attempt >= c.cfg.SubmitRounds {
+		return false
+	}
+	time.Sleep(c.backoff(attempt))
+	return true
+}
+
+// placeJob walks the ring preference list for the job's key and
+// submits to the first worker that accepts. Non-temporary API
+// rejections (a request that is invalid everywhere) finish the job
+// immediately; transport failures evict and continue down the list.
+// Runs on the watcher goroutine, so its contexts are rooted here.
+//
+//reuse:ctx-root
+func (c *Coordinator) placeJob(j *proxyJob) (*nodeState, *client.Job) {
+	prefs := c.ring.Successors(j.key, len(c.cfg.Peers))
+	for i, url := range prefs {
+		ns, ok := c.healthyNode(url)
+		if !ok {
+			continue
+		}
+		if i > 0 {
+			c.metrics.SubmitRetries.Add(1)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		doc, err := ns.cli.Analyze(ctx, j.req)
+		cancel()
+		if err == nil {
+			c.addInflight(ns, 1)
+			return ns, doc
+		}
+		var apiErr *client.Error
+		if errors.As(err, &apiErr) && !apiErr.Temporary() {
+			c.finishLocal(j, client.JobFailed, apiErr.Message)
+			return nil, nil
+		}
+		c.noteDead(ns, true)
+	}
+	return nil, nil
+}
+
+// pollUntilDone tracks the job on its worker. True means the job
+// reached a terminal state (recorded in j.doc); false means the worker
+// stopped answering and the job needs a new home. Runs on the watcher
+// goroutine, so its contexts are rooted here.
+//
+//reuse:ctx-root
+func (c *Coordinator) pollUntilDone(j *proxyJob, ns *nodeState, rerouted int) bool {
+	defer c.addInflight(ns, -1)
+	failures := 0
+	cancelSent := false
+	for {
+		if j.isCanceled() && !cancelSent {
+			cancelSent = true
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			_, _ = ns.cli.Cancel(ctx, j.remoteJobID())
+			cancel()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+		doc, err := ns.cli.Job(ctx, j.remoteJobID())
+		cancel()
+		if err != nil {
+			var apiErr *client.Error
+			if errors.As(err, &apiErr) && apiErr.Status < 500 {
+				if apiErr.Code == client.CodeNotFound {
+					// The worker restarted and lost the job: reroute.
+					return false
+				}
+				// The worker answered coherently; the job state is just
+				// unreadable this instant. Keep polling.
+				failures = 0
+			} else {
+				// Transport failure or a 5xx: the node is dropping.
+				failures++
+				if _, ok := c.healthyNode(ns.url); !ok || failures >= c.cfg.FailAfter {
+					return false
+				}
+			}
+			time.Sleep(c.backoff(min(failures+1, 5)))
+			continue
+		}
+		failures = 0
+		c.updateDoc(j, ns.url, rerouted, doc)
+		if doc.Status.Terminal() {
+			return true
+		}
+		time.Sleep(c.cfg.PollInterval)
+	}
+}
+
+// remoteJobID reads the worker-side ID under the job lock.
+func (j *proxyJob) remoteJobID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.remoteID
+}
+
+// updateDoc folds a worker response into the coordinator's view,
+// keeping the coordinator-minted ID and submission stamp.
+func (c *Coordinator) updateDoc(j *proxyJob, node string, rerouted int, doc *client.Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	submitted := j.doc.Submitted
+	j.doc = *doc
+	j.doc.ID = j.id
+	j.doc.APIVersion = client.APIVersion
+	j.doc.Node = node
+	j.doc.Rerouted = rerouted
+	j.doc.Submitted = submitted
+	j.node = node
+	j.remoteID = doc.ID
+}
+
+// finishLocal terminates a job without a worker document (placement
+// failed or the job was canceled before placement).
+func (c *Coordinator) finishLocal(j *proxyJob, status client.JobStatus, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.doc.Status.Terminal() {
+		return
+	}
+	j.doc.Status = status
+	j.doc.Finished = time.Now().UTC().Format(time.RFC3339Nano)
+	if status == client.JobFailed {
+		j.doc.Error = msg
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code client.ErrorCode, format string, args ...any) {
+	writeJSON(w, status, client.ErrorEnvelope{
+		APIVersion: client.APIVersion,
+		Err:        client.ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > c.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, client.CodeTooLarge, "body exceeds %d bytes", c.cfg.MaxBodyBytes)
+		return
+	}
+	var req client.AnalyzeRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode request: %v", err)
+		return
+	}
+	// The coordinator computes the same content-addressed key the
+	// workers cache under — the shard function IS the cache key, which
+	// is what routes a repeated analysis back to its warm node.
+	key, err := server.CacheKeyFor(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, client.CodeDraining, "coordinator is draining")
+		return
+	}
+	if c.ring.Len() == 0 {
+		c.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, client.CodeUnavailable, "no healthy workers")
+		return
+	}
+	c.nextID++
+	id := fmt.Sprintf("c-%06d", c.nextID)
+	j := &proxyJob{
+		id:   id,
+		key:  key,
+		req:  req,
+		done: make(chan struct{}),
+		doc: client.Job{
+			APIVersion: client.APIVersion,
+			ID:         id,
+			Status:     client.JobQueued,
+			Key:        key,
+			Submitted:  time.Now().UTC().Format(time.RFC3339Nano),
+		},
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.watchers.Add(1)
+	c.mu.Unlock()
+
+	c.metrics.JobsProxied.Add(1)
+	go c.watch(j)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (c *Coordinator) job(id string) (*proxyJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, client.CodeNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (c *Coordinator) handleJobList(w http.ResponseWriter, r *http.Request) {
+	state := client.JobStatus(r.URL.Query().Get("state"))
+	switch state {
+	case "", client.JobQueued, client.JobRunning, client.JobDone, client.JobFailed, client.JobCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "unknown state %q", state)
+		return
+	}
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	list := client.JobList{APIVersion: client.APIVersion, Jobs: []client.Job{}}
+	for _, id := range ids {
+		j, ok := c.job(id)
+		if !ok {
+			continue
+		}
+		doc := j.snapshot()
+		if state != "" && doc.Status != state {
+			continue
+		}
+		doc.Report, doc.Result = "", nil
+		list.Jobs = append(list.Jobs, doc)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (c *Coordinator) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, client.CodeNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	if j.doc.Status.Terminal() {
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, client.CodeConflict, "job %s is not cancelable", j.id)
+		return
+	}
+	j.canceled = true
+	j.mu.Unlock()
+	// The watcher proxies the cancel to whichever worker holds the job
+	// and folds the terminal state back in; report the current view.
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (c *Coordinator) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	list := client.NodeList{APIVersion: client.APIVersion}
+	c.mu.Lock()
+	for _, ns := range c.nodes {
+		list.Nodes = append(list.Nodes, client.Node{
+			URL:      ns.url,
+			Healthy:  ns.healthy,
+			Inflight: ns.inflight,
+			Failures: ns.failures,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(list.Nodes, func(i, j int) bool { return list.Nodes[i].URL < list.Nodes[j].URL })
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	draining := c.draining
+	healthy := 0
+	inflight := 0
+	queued := 0
+	for _, ns := range c.nodes {
+		if ns.healthy {
+			healthy++
+		}
+		inflight += ns.inflight
+	}
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, id := range ids {
+		if j, ok := c.job(id); ok && j.snapshot().Status == client.JobQueued {
+			queued++
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, client.Health{
+		APIVersion:   client.APIVersion,
+		Status:       status,
+		Role:         "coordinator",
+		QueueDepth:   queued,
+		Running:      inflight,
+		NodesHealthy: healthy,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var gauges []NodeGauge
+	c.mu.Lock()
+	for _, ns := range c.nodes {
+		gauges = append(gauges, NodeGauge{Node: ns.url, Healthy: ns.healthy, Inflight: ns.inflight})
+	}
+	c.mu.Unlock()
+	c.metrics.WriteText(w, gauges)
+}

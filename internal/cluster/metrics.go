@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the coordinator's counter registry, rendered on
+// GET /metrics alongside per-node gauges sampled at request time.
+type Metrics struct {
+	start time.Time
+
+	// JobsProxied counts analyze submissions accepted and forwarded to a
+	// worker.
+	JobsProxied atomic.Uint64
+	// JobsRerouted counts jobs moved to another worker after their node
+	// failed.
+	JobsRerouted atomic.Uint64
+	// SubmitRetries counts submit attempts beyond the first, across all
+	// jobs (retries on the same node plus successor fallbacks).
+	SubmitRetries atomic.Uint64
+	// ProbeFailures counts failed health probes.
+	ProbeFailures atomic.Uint64
+	// NodesEvicted counts ring evictions after consecutive probe
+	// failures; NodesRejoined counts evicted nodes re-admitted after a
+	// successful probe.
+	NodesEvicted  atomic.Uint64
+	NodesRejoined atomic.Uint64
+}
+
+// NewMetrics starts the uptime clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// NodeGauge is one worker's point-in-time state for the exposition.
+type NodeGauge struct {
+	Node     string
+	Healthy  bool
+	Inflight int
+}
+
+// WriteText renders the registry in the Prometheus exposition format.
+// Per-node series are emitted in sorted node order so consecutive
+// scrapes of an unchanged cluster are byte-identical.
+func (m *Metrics) WriteText(w io.Writer, nodes []NodeGauge) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP reusetoold_cluster_uptime_seconds Seconds since the coordinator started.\n"+
+		"# TYPE reusetoold_cluster_uptime_seconds gauge\nreusetoold_cluster_uptime_seconds %g\n",
+		time.Since(m.start).Seconds())
+	counter("reusetoold_cluster_jobs_proxied_total", "Jobs accepted and forwarded to a worker.", m.JobsProxied.Load())
+	counter("reusetoold_cluster_jobs_rerouted_total", "Jobs moved to another worker after a node failure.", m.JobsRerouted.Load())
+	counter("reusetoold_cluster_submit_retries_total", "Submit attempts beyond the first.", m.SubmitRetries.Load())
+	counter("reusetoold_cluster_probe_failures_total", "Failed worker health probes.", m.ProbeFailures.Load())
+	counter("reusetoold_cluster_nodes_evicted_total", "Workers evicted from the ring after consecutive probe failures.", m.NodesEvicted.Load())
+	counter("reusetoold_cluster_nodes_rejoined_total", "Evicted workers re-admitted after a successful probe.", m.NodesRejoined.Load())
+
+	sorted := append([]NodeGauge(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	healthy := 0
+	for _, n := range sorted {
+		if n.Healthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(w, "# HELP reusetoold_cluster_nodes_healthy Workers currently in the ring.\n"+
+		"# TYPE reusetoold_cluster_nodes_healthy gauge\nreusetoold_cluster_nodes_healthy %d\n", healthy)
+	fmt.Fprintf(w, "# HELP reusetoold_cluster_node_inflight Jobs this coordinator has in flight per worker.\n"+
+		"# TYPE reusetoold_cluster_node_inflight gauge\n")
+	for _, n := range sorted {
+		fmt.Fprintf(w, "reusetoold_cluster_node_inflight{node=%q} %d\n", n.Node, n.Inflight)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cluster implements the distributed analysis tier on top of
+// the single-node daemon in internal/server: a coordinator that shards
+// jobs across worker daemons by their content-addressed cache key, so
+// repeated submissions of the same analysis land on the same node (and
+// its warm local cache), plus node health tracking and job re-routing
+// when a worker dies.
+//
+// The sharding function is a consistent-hash ring with virtual nodes:
+// adding or removing one worker moves only ~1/N of the key space, which
+// preserves most of the fleet's cache locality across membership
+// changes — the same property the in-process tiers get from
+// content-addressing, lifted to the cluster.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128
+// points per node keeps the key-share spread within a few percent of
+// uniform for small fleets while the ring stays tiny (128·N points).
+const DefaultVNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring mapping cache keys to node names.
+// The zero value is not usable; construct with NewRing. All methods
+// are safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	// mu guards the ring points and membership below.
+	mu     sync.Mutex
+	points []point             // guarded by mu
+	member map[string]struct{} // guarded by mu
+}
+
+// NewRing builds an empty ring. vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, member: map[string]struct{}{}}
+}
+
+// hashString is FNV-1a over s — cheap, stateless, and stable across
+// processes, which matters because every coordinator replica must
+// shard identically.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[node]; ok {
+		return
+	}
+	r.member[node] = struct{}{}
+	pts := r.points
+	for i := 0; i < r.vnodes; i++ {
+		pts = append(pts, point{
+			hash: hashString(node + "#" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	// Ties broken by node name so two coordinators with the same
+	// membership always agree, whatever the insertion order was.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].node < pts[j].node
+	})
+	r.points = pts
+}
+
+// Remove deletes a node. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[node]; !ok {
+		return
+	}
+	delete(r.member, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.member)
+}
+
+// Nodes returns the member nodes in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nodes := make([]string, 0, len(r.member))
+	for n := range r.member {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// Has reports whether node is a member.
+func (r *Ring) Has(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.member[node]
+	return ok
+}
+
+// Owner returns the node owning key: the first virtual node clockwise
+// from the key's hash. An empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// the key's owner — the preference list a coordinator walks when the
+// owner is unreachable.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.member) {
+		n = len(r.member)
+	}
+	h := hashString(key)
+	pts := r.points
+	start := sort.Search(len(pts), func(i int) bool {
+		return pts[i].hash >= h
+	})
+	out := make([]string, 0, n)
+	seen := map[string]struct{}{}
+	for i := 0; i < len(pts) && len(out) < n; i++ {
+		p := pts[(start+i)%len(pts)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

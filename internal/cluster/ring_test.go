@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real cache keys: long hex-ish strings.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingDistributionUniformity(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(20000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	// Perfectly uniform would be 25% per node; with 64 vnodes the
+	// spread should stay within [12%, 45%] — loose enough to be stable,
+	// tight enough to catch a broken hash or vnode layout.
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.12 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [12%%,45%%]", n, share*100)
+		}
+	}
+	if len(counts) != len(nodes) {
+		t.Fatalf("only %d of %d nodes own keys", len(counts), len(nodes))
+	}
+}
+
+func TestRingMinimalKeyMovementOnRemove(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(5000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	victim := nodes[1]
+	r.Remove(victim)
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == victim {
+			t.Fatalf("removed node still owns %s", k)
+		}
+		// Consistency property: only the removed node's keys may move.
+		if before[k] != victim && owner != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed in the ring",
+				k, before[k], owner)
+		}
+	}
+
+	// Re-adding restores the exact original assignment.
+	r.Add(victim)
+	for _, k := range keys {
+		if owner := r.Owner(k); owner != before[k] {
+			t.Fatalf("key %s: owner %s after rejoin, want %s", k, owner, before[k])
+		}
+	}
+}
+
+func TestRingMinimalKeyMovementOnAdd(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"} {
+		r.Add(n)
+	}
+	keys := ringKeys(5000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Add("http://e:1")
+	moved := 0
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == before[k] {
+			continue
+		}
+		// Keys may only move TO the new node, never between old nodes.
+		if owner != "http://e:1" {
+			t.Fatalf("key %s moved %s -> %s, not to the new node", k, before[k], owner)
+		}
+		moved++
+	}
+	// The new node should take roughly 1/5 of the space; allow [8%, 35%].
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.08 || frac > 0.35 {
+		t.Errorf("adding a 5th node moved %.1f%% of keys, outside [8%%,35%%]", frac*100)
+	}
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	a, b := NewRing(32), NewRing(32)
+	nodes := []string{"http://w1:9", "http://w2:9", "http://w3:9"}
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: rings disagree (%s vs %s)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	succ := r.Successors("somekey", 10)
+	if len(succ) != len(nodes) {
+		t.Fatalf("successors = %v, want all %d distinct nodes", succ, len(nodes))
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("duplicate node %s in successors %v", s, succ)
+		}
+		seen[s] = true
+	}
+	if succ[0] != r.Owner("somekey") {
+		t.Fatalf("first successor %s != owner %s", succ[0], r.Owner("somekey"))
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if owner := r.Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	r.Add("http://a:1")
+	r.Add("http://a:1") // duplicate add is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after duplicate add, want 1", r.Len())
+	}
+	r.Remove("http://missing:1") // absent remove is a no-op
+	if !r.Has("http://a:1") || r.Owner("k") != "http://a:1" {
+		t.Fatal("single-node ring must own every key")
+	}
+	r.Remove("http://a:1")
+	if r.Len() != 0 || r.Owner("k") != "" {
+		t.Fatal("ring not empty after removing the only node")
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -31,8 +32,8 @@ type CacheEntry struct {
 
 // verify round-trips the persist artifact and checks the restored
 // engines reproduce the recorded fingerprint — a corrupted or stale
-// artifact (e.g. a truncated disk file predating atomic writes) is
-// rejected rather than served.
+// artifact (e.g. a truncated disk file predating atomic writes, or a
+// tampered remote-tier response) is rejected rather than served.
 func (e *CacheEntry) verify() error {
 	if len(e.Artifact) == 0 {
 		return fmt.Errorf("server: cache entry %s has no artifact", e.Key)
@@ -48,43 +49,83 @@ func (e *CacheEntry) verify() error {
 	return nil
 }
 
-// ResultCache is the two-tier content-addressed store in front of the
-// scheduler: a bounded in-memory LRU, optionally backed by an on-disk
-// artifact directory that survives restarts. Disk entries are written
-// atomically (tmp+rename, the persist.SaveFile protocol) so concurrent
-// daemons sharing a directory never serve torn artifacts.
+// CacheOptions sizes and wires a ResultCache.
+type CacheOptions struct {
+	// MaxEntries bounds the in-memory LRU tier (default 128).
+	MaxEntries int
+	// Dir enables the on-disk artifact tier when non-empty.
+	Dir string
+	// Remote enables the shared remote tier when non-nil.
+	Remote *RemoteCache
+	// WriteBehindDepth bounds the async queue feeding the remote tier
+	// (default 64).
+	WriteBehindDepth int
+	// DiskQueueDepth bounds the async disk-writer queue (default 64).
+	DiskQueueDepth int
+}
+
+// ResultCache is the three-tier content-addressed store in front of
+// the scheduler: a bounded in-memory LRU, an optional on-disk artifact
+// directory that survives restarts, and an optional shared remote tier
+// reached over HTTP (see RemoteCache). Lookups go memory → disk →
+// remote; every hit is fingerprint-verified before it is served, and
+// remote hits are filled through into the local tiers.
+//
+// Writes never block the analysis hot path on I/O: disk writes go
+// through a bounded async writer (falling back to an inline write when
+// the queue is full, so durability degrades to back-pressure rather
+// than loss), and remote writes go through a coalescing write-behind
+// queue. Close flushes both; the daemon calls it during graceful
+// drain, after the scheduler has stopped producing results.
 type ResultCache struct {
-	// mu guards the LRU structures only; disk I/O happens outside the
-	// critical sections.
+	// mu guards the LRU structures and the closed flag; disk and
+	// network I/O happen outside the critical sections.
 	mu      sync.Mutex
 	max     int
 	ll      *list.List               // guarded by mu
 	byKey   map[string]*list.Element // guarded by mu
+	closed  bool                     // guarded by mu
 	dir     string
 	metrics *Metrics
+	remote  *RemoteCache
+	wb      *writeBehind
+
+	diskq     chan *CacheEntry
+	diskWG    sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// NewResultCache builds a cache holding up to maxEntries results in
-// memory. dir enables the disk tier when non-empty (the directory is
-// created if needed); metrics may be nil.
-func NewResultCache(maxEntries int, dir string, m *Metrics) (*ResultCache, error) {
-	if maxEntries <= 0 {
-		maxEntries = 128
+// NewResultCache builds the cache. Metrics may be nil.
+func NewResultCache(opts CacheOptions, m *Metrics) (*ResultCache, error) {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 128
+	}
+	if opts.DiskQueueDepth <= 0 {
+		opts.DiskQueueDepth = 64
 	}
 	if m == nil {
 		m = NewMetrics()
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: cache dir: %w", err)
 		}
 	}
 	c := &ResultCache{
-		max:     maxEntries,
+		max:     opts.MaxEntries,
 		ll:      list.New(),
 		byKey:   map[string]*list.Element{},
-		dir:     dir,
+		dir:     opts.Dir,
 		metrics: m,
+		remote:  opts.Remote,
+	}
+	if c.dir != "" {
+		c.diskq = make(chan *CacheEntry, opts.DiskQueueDepth)
+		c.diskWG.Add(1)
+		go c.diskWriter()
+	}
+	if c.remote != nil {
+		c.wb = newWriteBehind(c.remote, m, opts.WriteBehindDepth)
 	}
 	return c, nil
 }
@@ -96,10 +137,49 @@ func (c *ResultCache) Len() int {
 	return c.ll.Len()
 }
 
-// Get returns the entry for key, consulting the memory tier first and
-// then the disk tier, verifying the artifact fingerprint before serving
-// it. A verification failure evicts the entry and reports a miss.
-func (c *ResultCache) Get(key string) (*CacheEntry, bool) {
+// WriteBehindLen reports the entries waiting in the write-behind queue.
+func (c *ResultCache) WriteBehindLen() int {
+	if c.wb == nil {
+		return 0
+	}
+	return c.wb.Len()
+}
+
+// Get returns the entry for key, consulting the memory tier, then the
+// disk tier, then the shared remote tier. Every candidate is verified
+// against its recorded fingerprint before serving; a verification
+// failure evicts the local copy and falls through to the next tier.
+// Remote hits are filled through into the local tiers. ctx bounds the
+// remote round-trip only — local lookups never block on it.
+func (c *ResultCache) Get(ctx context.Context, key string) (*CacheEntry, bool) {
+	if e, tier := c.lookupLocal(key); e != nil {
+		c.metrics.CacheHits.Add(1)
+		if tier == tierDisk {
+			c.metrics.CacheDiskHits.Add(1)
+		}
+		return e, true
+	}
+	if c.remote != nil {
+		if e, ok := c.remote.Get(ctx, key); ok {
+			c.insert(e)
+			c.enqueueDisk(e)
+			c.metrics.CacheHits.Add(1)
+			return e, true
+		}
+	}
+	c.metrics.CacheMisses.Add(1)
+	return nil, false
+}
+
+const (
+	tierMem  = "mem"
+	tierDisk = "disk"
+)
+
+// lookupLocal consults the memory and disk tiers with verification but
+// without touching the top-level hit/miss counters — the peer-serving
+// handlers account separately from the analyze path.
+func (c *ResultCache) lookupLocal(key string) (*CacheEntry, string) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
@@ -108,37 +188,74 @@ func (c *ResultCache) Get(key string) (*CacheEntry, bool) {
 		if err := e.verify(); err != nil {
 			c.metrics.CacheBadVerify.Add(1)
 			c.drop(key)
-			c.metrics.CacheMisses.Add(1)
-			return nil, false
+		} else {
+			return e, tierMem
 		}
-		c.metrics.CacheHits.Add(1)
-		return e, true
+	} else {
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
 	if e, ok := c.loadDisk(key); ok {
 		if err := e.verify(); err != nil {
 			c.metrics.CacheBadVerify.Add(1)
 			os.Remove(c.diskPath(key))
-			c.metrics.CacheMisses.Add(1)
-			return nil, false
+			return nil, ""
 		}
 		c.insert(e)
-		c.metrics.CacheHits.Add(1)
-		c.metrics.CacheDiskHits.Add(1)
-		return e, true
+		return e, tierDisk
 	}
-	c.metrics.CacheMisses.Add(1)
-	return nil, false
+	return nil, ""
 }
 
-// Put stores a freshly computed entry in both tiers. The disk tier is
-// best-effort: the memory tier already holds the entry, so a disk write
-// failure degrades persistence, not correctness.
+// Put stores a freshly computed entry in every tier: memory now, disk
+// via the async writer, and the shared remote tier via the coalescing
+// write-behind queue.
 func (c *ResultCache) Put(e *CacheEntry) {
 	c.insert(e)
-	if c.dir != "" {
-		_ = c.saveDisk(e)
+	c.enqueueDisk(e)
+	if c.wb != nil {
+		c.wb.Enqueue(e)
 	}
+}
+
+// PutLocal stores an entry in the memory and disk tiers only. The peer
+// PUT handler uses it so entries arriving from the write-behind queue
+// of another node are not echoed back to the remote tier.
+func (c *ResultCache) PutLocal(e *CacheEntry) {
+	c.insert(e)
+	c.enqueueDisk(e)
+}
+
+// Close flushes the async tiers: the disk-writer queue is drained to
+// stable storage and the write-behind queue to the remote tier, each
+// bounded by ctx. The daemon calls this during graceful drain after
+// the scheduler has finished, so SIGTERM can no longer race an
+// in-flight write. Close is idempotent; Put after Close degrades to
+// synchronous disk writes and drops remote writes.
+func (c *ResultCache) Close(ctx context.Context) error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		if c.diskq != nil {
+			close(c.diskq)
+			done := make(chan struct{})
+			go func() {
+				c.diskWG.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				err = fmt.Errorf("server: cache close: disk queue: %w", ctx.Err())
+				return
+			}
+		}
+		if c.wb != nil {
+			err = c.wb.Close(ctx)
+		}
+	})
+	return err
 }
 
 func (c *ResultCache) insert(e *CacheEntry) {
@@ -167,10 +284,44 @@ func (c *ResultCache) drop(key string) {
 	}
 }
 
+// enqueueDisk hands an entry to the async disk writer. A full queue
+// falls back to writing inline — back-pressure instead of losing the
+// write — and after Close the write happens inline too, so late
+// stragglers still land on disk.
+func (c *ResultCache) enqueueDisk(e *CacheEntry) {
+	if c.dir == "" {
+		return
+	}
+	c.mu.Lock()
+	if !c.closed {
+		select {
+		case c.diskq <- e:
+			c.mu.Unlock()
+			return
+		default:
+		}
+	}
+	c.mu.Unlock()
+	c.writeDisk(e)
+}
+
+func (c *ResultCache) diskWriter() {
+	defer c.diskWG.Done()
+	for e := range c.diskq {
+		c.writeDisk(e)
+	}
+}
+
 // diskPath shards entries by the first byte of the key to keep
 // directories small under millions of artifacts.
 func (c *ResultCache) diskPath(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".entry")
+}
+
+func (c *ResultCache) writeDisk(e *CacheEntry) {
+	if err := c.saveDisk(e); err != nil {
+		c.metrics.DiskWriteErrors.Add(1)
+	}
 }
 
 func (c *ResultCache) saveDisk(e *CacheEntry) error {

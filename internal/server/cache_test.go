@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -45,13 +46,13 @@ func key(i int) string { return fmt.Sprintf("%064d", i) }
 
 func TestCacheHitVerifiesFingerprint(t *testing.T) {
 	m := NewMetrics()
-	c, err := NewResultCache(4, "", m)
+	c, err := NewResultCache(CacheOptions{MaxEntries: 4}, m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := collectEntry(t, key(1))
 	c.Put(e)
-	got, ok := c.Get(key(1))
+	got, ok := c.Get(t.Context(), key(1))
 	if !ok || !bytes.Equal(got.Report, e.Report) {
 		t.Fatal("expected verified hit")
 	}
@@ -64,35 +65,35 @@ func TestCacheHitVerifiesFingerprint(t *testing.T) {
 	bad := collectEntry(t, key(2))
 	bad.Fingerprint ^= 0xdead
 	c.Put(bad)
-	if _, ok := c.Get(key(2)); ok {
+	if _, ok := c.Get(t.Context(), key(2)); ok {
 		t.Fatal("corrupted entry served")
 	}
 	if m.CacheBadVerify.Load() != 1 {
 		t.Fatalf("verify-failure counter = %d, want 1", m.CacheBadVerify.Load())
 	}
-	if _, ok := c.Get(key(2)); ok {
+	if _, ok := c.Get(t.Context(), key(2)); ok {
 		t.Fatal("corrupted entry resurrected")
 	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
 	m := NewMetrics()
-	c, err := NewResultCache(2, "", m)
+	c, err := NewResultCache(CacheOptions{MaxEntries: 2}, m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e1, e2, e3 := collectEntry(t, key(1)), collectEntry(t, key(2)), collectEntry(t, key(3))
 	c.Put(e1)
 	c.Put(e2)
-	c.Get(key(1)) // promote 1; 2 becomes LRU
+	c.Get(t.Context(), key(1)) // promote 1; 2 becomes LRU
 	c.Put(e3)     // evicts 2
-	if _, ok := c.Get(key(2)); ok {
+	if _, ok := c.Get(t.Context(), key(2)); ok {
 		t.Fatal("LRU entry not evicted")
 	}
-	if _, ok := c.Get(key(1)); !ok {
+	if _, ok := c.Get(t.Context(), key(1)); !ok {
 		t.Fatal("promoted entry evicted")
 	}
-	if _, ok := c.Get(key(3)); !ok {
+	if _, ok := c.Get(t.Context(), key(3)); !ok {
 		t.Fatal("fresh entry evicted")
 	}
 	if m.CacheEvictions.Load() != 1 {
@@ -103,21 +104,26 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheDiskTierSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics()
-	c, err := NewResultCache(4, dir, m)
+	c, err := NewResultCache(CacheOptions{MaxEntries: 4, Dir: dir}, m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := collectEntry(t, key(7))
 	c.Put(e)
+	// Disk writes are async; Close flushes them (the daemon does the
+	// same during graceful drain).
+	if err := c.Close(t.Context()); err != nil {
+		t.Fatal(err)
+	}
 
 	// A fresh cache over the same directory — as after a daemon restart —
 	// must satisfy the key from disk, with the fingerprint verified.
 	m2 := NewMetrics()
-	c2, err := NewResultCache(4, dir, m2)
+	c2, err := NewResultCache(CacheOptions{MaxEntries: 4, Dir: dir}, m2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c2.Get(key(7))
+	got, ok := c2.Get(t.Context(), key(7))
 	if !ok {
 		t.Fatal("disk tier miss after restart")
 	}
@@ -137,20 +143,22 @@ func TestCacheDiskTierSurvivesRestart(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c3, err := NewResultCache(4, dir, NewMetrics())
+	c3, err := NewResultCache(CacheOptions{MaxEntries: 4, Dir: dir}, NewMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c3.Get(key(7)); ok {
+	if _, ok := c3.Get(t.Context(), key(7)); ok {
 		t.Fatal("truncated disk entry served")
 	}
 }
 
 func TestCacheConcurrentAccess(t *testing.T) {
-	c, err := NewResultCache(8, t.TempDir(), NewMetrics())
+	c, err := NewResultCache(CacheOptions{MaxEntries: 8, Dir: t.TempDir()}, NewMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Flush the async disk writer before TempDir cleanup.
+	t.Cleanup(func() { c.Close(context.Background()) })
 	entries := make([]*CacheEntry, 4)
 	for i := range entries {
 		entries[i] = collectEntry(t, key(i))
@@ -163,7 +171,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 				e := entries[(g+i)%len(entries)]
 				if i%3 == 0 {
 					c.Put(e)
-				} else if got, ok := c.Get(e.Key); ok && got.Fingerprint != e.Fingerprint {
+				} else if got, ok := c.Get(t.Context(), e.Key); ok && got.Fingerprint != e.Fingerprint {
 					t.Error("cross-key fingerprint mixup")
 					return
 				}

@@ -26,6 +26,27 @@ type Metrics struct {
 	CacheEvictions atomic.Uint64
 	CacheBadVerify atomic.Uint64
 
+	// Remote tier: this daemon acting as a client of the shared
+	// content-addressed cache.
+	RemoteHits   atomic.Uint64
+	RemoteMisses atomic.Uint64
+	RemoteErrors atomic.Uint64
+	RemotePuts   atomic.Uint64
+
+	// Peer serving: this daemon answering GET/PUT /v1/cache/{key} for
+	// other nodes.
+	PeerHits   atomic.Uint64
+	PeerMisses atomic.Uint64
+	PeerPuts   atomic.Uint64
+
+	// Write-behind queue feeding the remote tier.
+	WriteBehindCoalesced atomic.Uint64
+	WriteBehindDropped   atomic.Uint64
+
+	// DiskWriteErrors counts failed disk-tier writes (best-effort tier,
+	// so failures degrade persistence, not correctness).
+	DiskWriteErrors atomic.Uint64
+
 	// AnalyzeNanos accumulates wall-clock time spent inside the analysis
 	// pipeline (cache misses only; hits skip it entirely).
 	AnalyzeNanos atomic.Uint64
@@ -36,10 +57,11 @@ func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
 
 // Gauges carries the point-in-time values sampled at render time.
 type Gauges struct {
-	QueueDepth   int
-	RunningJobs  int
-	CacheEntries int
-	Draining     bool
+	QueueDepth       int
+	RunningJobs      int
+	CacheEntries     int
+	WriteBehindDepth int
+	Draining         bool
 }
 
 // WriteText renders the registry in the Prometheus exposition format.
@@ -61,10 +83,21 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("reusetoold_cache_disk_hits_total", "Cache hits satisfied by the on-disk artifact store.", m.CacheDiskHits.Load())
 	counter("reusetoold_cache_evictions_total", "Entries evicted from the memory tier.", m.CacheEvictions.Load())
 	counter("reusetoold_cache_verify_failures_total", "Cached artifacts whose fingerprint failed verification.", m.CacheBadVerify.Load())
+	counter("reusetoold_remote_cache_hits_total", "Cache hits satisfied by the shared remote tier.", m.RemoteHits.Load())
+	counter("reusetoold_remote_cache_misses_total", "Remote-tier lookups that found nothing.", m.RemoteMisses.Load())
+	counter("reusetoold_remote_cache_errors_total", "Remote-tier round-trips that failed (network, decode, or verify).", m.RemoteErrors.Load())
+	counter("reusetoold_remote_cache_puts_total", "Entries pushed to the shared remote tier.", m.RemotePuts.Load())
+	counter("reusetoold_cache_peer_hits_total", "Peer GET /v1/cache requests served from local tiers.", m.PeerHits.Load())
+	counter("reusetoold_cache_peer_misses_total", "Peer GET /v1/cache requests that missed.", m.PeerMisses.Load())
+	counter("reusetoold_cache_peer_puts_total", "Peer PUT /v1/cache entries accepted.", m.PeerPuts.Load())
+	counter("reusetoold_write_behind_coalesced_total", "Write-behind enqueues coalesced onto a pending key.", m.WriteBehindCoalesced.Load())
+	counter("reusetoold_write_behind_dropped_total", "Write-behind entries dropped (queue full or shutdown deadline).", m.WriteBehindDropped.Load())
+	counter("reusetoold_disk_write_errors_total", "Failed disk-tier cache writes.", m.DiskWriteErrors.Load())
 	gauge("reusetoold_analyze_seconds_total", "Wall-clock seconds spent inside the analysis pipeline.", float64(m.AnalyzeNanos.Load())/1e9)
 	gauge("reusetoold_queue_depth", "Jobs waiting in the FIFO queue.", float64(g.QueueDepth))
 	gauge("reusetoold_jobs_running", "Jobs currently executing on workers.", float64(g.RunningJobs))
 	gauge("reusetoold_cache_entries", "Entries resident in the memory cache tier.", float64(g.CacheEntries))
+	gauge("reusetoold_write_behind_queue_depth", "Entries waiting in the write-behind queue to the remote tier.", float64(g.WriteBehindDepth))
 	drain := 0.0
 	if g.Draining {
 		drain = 1

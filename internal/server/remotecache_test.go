@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startPeer stands up a real daemon to act as the shared cache tier.
+func startPeer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func TestRemoteTierCrossDaemonHit(t *testing.T) {
+	peer, ts := startPeer(t)
+	e := collectEntry(t, key(11))
+	peer.Cache().PutLocal(e)
+
+	m := NewMetrics()
+	c, err := NewResultCache(CacheOptions{MaxEntries: 4, Remote: NewRemoteCache(ts.URL, m)}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(context.Background()) })
+
+	got, ok := c.Get(t.Context(), key(11))
+	if !ok || !bytes.Equal(got.Report, e.Report) {
+		t.Fatal("expected verified remote hit")
+	}
+	if m.RemoteHits.Load() != 1 {
+		t.Fatalf("remote hits = %d, want 1", m.RemoteHits.Load())
+	}
+	if peer.Metrics().PeerHits.Load() != 1 {
+		t.Fatalf("peer hits = %d, want 1", peer.Metrics().PeerHits.Load())
+	}
+
+	// Fill-through: the second lookup is local, no extra remote trip.
+	if _, ok := c.Get(t.Context(), key(11)); !ok {
+		t.Fatal("fill-through entry missing")
+	}
+	if m.RemoteHits.Load() != 1 {
+		t.Fatalf("remote hits = %d after local re-read, want 1", m.RemoteHits.Load())
+	}
+
+	// Unknown keys are remote misses, not errors.
+	if _, ok := c.Get(t.Context(), key(12)); ok {
+		t.Fatal("unexpected hit")
+	}
+	if m.RemoteMisses.Load() != 1 || m.RemoteErrors.Load() != 0 {
+		t.Fatalf("misses=%d errors=%d, want 1/0", m.RemoteMisses.Load(), m.RemoteErrors.Load())
+	}
+}
+
+func TestWriteBehindPropagatesToPeer(t *testing.T) {
+	peer, ts := startPeer(t)
+	m := NewMetrics()
+	c, err := NewResultCache(CacheOptions{MaxEntries: 4, Remote: NewRemoteCache(ts.URL, m)}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(context.Background()) })
+
+	e := collectEntry(t, key(21))
+	c.Put(e)
+	deadline := time.Now().Add(5 * time.Second)
+	for peer.Metrics().PeerPuts.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if peer.Metrics().PeerPuts.Load() != 1 {
+		t.Fatal("write-behind PUT never reached the peer")
+	}
+	got, ok := peer.Cache().Get(t.Context(), key(21))
+	if !ok || got.Fingerprint != e.Fingerprint {
+		t.Fatal("peer did not store the pushed entry")
+	}
+}
+
+// TestCacheCloseFlushesAsyncTiers is the graceful-drain guarantee: a
+// SIGTERM arriving right after Put must not lose the disk write or the
+// queued remote write. Close must push everything out before returning.
+func TestCacheCloseFlushesAsyncTiers(t *testing.T) {
+	peer, ts := startPeer(t)
+	dir := t.TempDir()
+	m := NewMetrics()
+	c, err := NewResultCache(CacheOptions{
+		MaxEntries: 16,
+		Dir:        dir,
+		Remote:     NewRemoteCache(ts.URL, m),
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	entries := make([]*CacheEntry, n)
+	for i := range entries {
+		entries[i] = collectEntry(t, key(30+i))
+		c.Put(entries[i])
+	}
+	// Close immediately — the drain race this exercises.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every entry must be on disk (visible to a fresh cache)...
+	c2, err := NewResultCache(CacheOptions{MaxEntries: 16, Dir: dir}, NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if _, ok := c2.Get(t.Context(), key(30+i)); !ok {
+			t.Fatalf("entry %d missing from disk after Close", i)
+		}
+	}
+	// ...and on the remote tier.
+	if got := peer.Metrics().PeerPuts.Load(); got != n {
+		t.Fatalf("peer received %d PUTs, want %d", got, n)
+	}
+
+	// Put after Close degrades gracefully: inline disk write, dropped
+	// remote write — never a hang or a panic.
+	late := collectEntry(t, key(50))
+	c.Put(late)
+	c3, err := NewResultCache(CacheOptions{MaxEntries: 16, Dir: dir}, NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(t.Context(), key(50)); !ok {
+		t.Fatal("post-Close Put did not reach disk")
+	}
+	if m.WriteBehindDropped.Load() == 0 {
+		t.Fatal("post-Close remote write not counted as dropped")
+	}
+}
+
+func TestWriteBehindCoalescesPendingKey(t *testing.T) {
+	// A remote that blocks until released, so entries stay queued.
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		mu.Lock()
+		got = append(got, r.URL.Path)
+		mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(ts.Close)
+
+	m := NewMetrics()
+	wb := newWriteBehind(NewRemoteCache(ts.URL, m), m, 4)
+	a, b := collectEntry(t, key(61)), collectEntry(t, key(62))
+	wb.Enqueue(a)
+	// Give the writer a moment to take "a" off the queue so the
+	// coalescing below targets queued-but-not-inflight state.
+	time.Sleep(50 * time.Millisecond)
+	wb.Enqueue(b)
+	wb.Enqueue(b) // same key: coalesces, does not grow the queue
+	if m.WriteBehindCoalesced.Load() != 1 {
+		t.Fatalf("coalesced = %d, want 1", m.WriteBehindCoalesced.Load())
+	}
+	if wb.Len() != 1 {
+		t.Fatalf("queue depth = %d, want 1", wb.Len())
+	}
+
+	// Overflow: with depth 4, filling past capacity drops the newest.
+	for i := 0; i < 6; i++ {
+		wb.Enqueue(collectEntry(t, key(70+i)))
+	}
+	if m.WriteBehindDropped.Load() == 0 {
+		t.Fatal("overflow not counted as dropped")
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := wb.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("no PUTs delivered after release")
+	}
+}
+
+func TestRemoteGetRejectsCorruptEntries(t *testing.T) {
+	// A peer serving a tampered entry: decodes fine, fails verification.
+	bad := collectEntry(t, key(81))
+	bad.Fingerprint ^= 0xbeef
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cache/" + key(81):
+			_ = gob.NewEncoder(w).Encode(bad)
+		case "/v1/cache/" + key(82):
+			w.Write([]byte("not gob at all"))
+		default:
+			// Entry whose key disagrees with the path.
+			other := collectEntry(t, key(84))
+			_ = gob.NewEncoder(w).Encode(other)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	m := NewMetrics()
+	rc := NewRemoteCache(ts.URL, m)
+	for i, k := range []string{key(81), key(82), key(83)} {
+		if _, ok := rc.Get(t.Context(), k); ok {
+			t.Fatalf("case %d: corrupt remote entry served", i)
+		}
+	}
+	if m.RemoteErrors.Load() != 3 {
+		t.Fatalf("remote errors = %d, want 3", m.RemoteErrors.Load())
+	}
+	if m.RemoteHits.Load() != 0 {
+		t.Fatal("corrupt entries counted as hits")
+	}
+}
+
+func TestCachePutHandlerValidation(t *testing.T) {
+	_, ts := startPeer(t)
+	put := func(path string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Malformed keys never reach the disk path logic.
+	if code := put("/v1/cache/..%2F..%2Fetc", nil); code != http.StatusBadRequest {
+		t.Fatalf("traversal key: status %d, want 400", code)
+	}
+	if code := put("/v1/cache/ABCDEF", nil); code != http.StatusBadRequest {
+		t.Fatalf("short key: status %d, want 400", code)
+	}
+	// Key mismatch between path and entry body.
+	e := collectEntry(t, key(91))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatal(err)
+	}
+	if code := put("/v1/cache/"+key(92), buf.Bytes()); code != http.StatusBadRequest {
+		t.Fatalf("key mismatch: status %d, want 400", code)
+	}
+	// Tampered fingerprint is refused.
+	e.Fingerprint ^= 1
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatal(err)
+	}
+	if code := put("/v1/cache/"+key(91), buf.Bytes()); code != http.StatusBadRequest {
+		t.Fatalf("tampered entry: status %d, want 400", code)
+	}
+	// The genuine entry is accepted.
+	good := collectEntry(t, key(91))
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(good); err != nil {
+		t.Fatal(err)
+	}
+	if code := put("/v1/cache/"+key(91), buf.Bytes()); code != http.StatusNoContent {
+		t.Fatalf("valid entry: status %d, want 204", code)
+	}
+}

@@ -17,37 +17,26 @@ import (
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
 	"reusetool/internal/workloads"
+	"reusetool/pkg/client"
 )
 
-// AnalyzeRequest is the POST /v1/analyze body. Exactly one program
-// source must be given: a built-in workload name, inline .loop source,
-// or a saved persist stream (base64-encoded by encoding/json) — the
-// artifact may also accompany a workload/program, in which case the
-// collector is restored from it instead of re-running the interpreter.
-// The remaining fields mirror core.Options and the CLI's report knobs.
-type AnalyzeRequest struct {
-	// Workload names a built-in workload (see workloads.Names).
-	Workload string `json:"workload,omitempty"`
-	// Program is inline .loop source (see internal/lang).
-	Program string `json:"program,omitempty"`
-	// Artifact is a persist-v2 stream of previously collected data.
-	Artifact []byte `json:"artifact,omitempty"`
+// AnalyzeRequest is the POST /v1/analyze body. The wire type lives in
+// pkg/client — the public client package is the source of truth for
+// the v1 protocol — and the server aliases it so resolve() and the
+// handlers cannot drift from what clients send.
+type AnalyzeRequest = client.AnalyzeRequest
 
-	// Params override program parameter defaults.
-	Params map[string]int64 `json:"params,omitempty"`
-	// Hierarchy selects the target machine: "scaled" (default), "full",
-	// or "opteron".
-	Hierarchy string `json:"hierarchy,omitempty"`
-	// Mode selects the pipeline: "dynamic" (default) or "static".
-	Mode string `json:"mode,omitempty"`
-	// HistRes overrides the histogram resolution (0 = default).
-	HistRes int `json:"histres,omitempty"`
-	// Level and MinShare shape the rendered text report (defaults "L2",
-	// 0.02).
-	Level    string  `json:"level,omitempty"`
-	MinShare float64 `json:"minshare,omitempty"`
-	// TimeoutMS overrides the job deadline, capped by the daemon.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+// CacheKeyFor validates a request and computes its content-addressed
+// cache key without executing anything. The cluster coordinator shards
+// jobs across workers with it: the key a worker would compute for the
+// same request is identical, so routing by key gives every worker an
+// effectively private slice of the keyspace.
+func CacheKeyFor(req AnalyzeRequest) (string, error) {
+	rr, err := resolve(req, 0)
+	if err != nil {
+		return "", err
+	}
+	return rr.cacheKey(), nil
 }
 
 // resolved is a validated request, ready to key and execute: the

@@ -6,20 +6,23 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"reusetool/pkg/client"
 )
 
-// JobStatus is the lifecycle state of a scheduled analysis.
-type JobStatus string
+// JobStatus is the lifecycle state of a scheduled analysis. The type
+// and its values live in pkg/client (they are part of the wire
+// protocol); the server aliases them so scheduler code and API
+// responses always agree.
+type JobStatus = client.JobStatus
 
-// Job lifecycle states. Queued jobs sit in the FIFO queue; Running jobs
-// occupy a worker; the three terminal states distinguish success,
-// failure, and cancellation (which includes deadline expiry).
+// Job lifecycle states, re-exported for the scheduler's callers.
 const (
-	JobQueued   JobStatus = "queued"
-	JobRunning  JobStatus = "running"
-	JobDone     JobStatus = "done"
-	JobFailed   JobStatus = "failed"
-	JobCanceled JobStatus = "canceled"
+	JobQueued   = client.JobQueued
+	JobRunning  = client.JobRunning
+	JobDone     = client.JobDone
+	JobFailed   = client.JobFailed
+	JobCanceled = client.JobCanceled
 )
 
 // Submission errors.
@@ -244,6 +247,20 @@ func (s *Scheduler) Job(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// Jobs returns the live job records in submission order (the order
+// slice is authoritative; pruned IDs are skipped).
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // Cancel requests cancellation: a queued job is marked canceled and

@@ -6,12 +6,15 @@
 // The request flow is:
 //
 //	POST /v1/analyze ── resolve ── cacheKey ──► cache hit? ── yes ─► job done immediately
-//	                                               │ no
+//	                                               │ no            (memory → disk → remote tier)
 //	                                               ▼
 //	                                     FIFO queue ─► worker pool ─► core.Pipeline
 //	                                               │ (per-job deadline, cancelable)
 //	                                               ▼
 //	                                     cache.Put(persist stream + reports)
+//	                                               │ async
+//	                                               ├─► disk writer (tmp+rename)
+//	                                               └─► write-behind ─► remote tier (PUT /v1/cache/{key})
 //
 // The cache key is a SHA-256 over the canonical IR bytes (lang.Format)
 // plus canonicalized options; the value is the deterministic persist-v2
@@ -19,17 +22,26 @@
 // JSON document. Cache hits skip interpretation entirely and are
 // verified by round-tripping the artifact through internal/persist and
 // comparing engine fingerprints.
+//
+// The wire types live in pkg/client — the public typed client — and
+// every non-2xx response carries the structured
+// {"error":{"code","message"}} envelope defined there. Each daemon
+// also serves the shared-cache peer protocol (GET/PUT /v1/cache/{key})
+// so a fleet of workers can warm each other through a common tier.
 package server
 
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"time"
+
+	"reusetool/pkg/client"
 )
 
 // Config sizes the daemon.
@@ -47,8 +59,21 @@ type Config struct {
 	CacheEntries int
 	// CacheDir enables the on-disk artifact store when non-empty.
 	CacheDir string
+	// RemoteCache enables the shared remote cache tier when non-empty:
+	// the base URL of another reusetoold daemon (a dedicated cache node
+	// or a worker peer) serving /v1/cache.
+	RemoteCache string
+	// WriteBehindDepth bounds the async queue feeding the remote tier
+	// (default 64).
+	WriteBehindDepth int
 	// MaxBodyBytes bounds request bodies (default 16 MiB).
 	MaxBodyBytes int64
+	// SimulateLatency adds a synthetic per-job delay before the
+	// analysis runs (cache misses only). It exists for load drills and
+	// the cluster throughput tests, where job cost must dominate
+	// scheduling overhead regardless of host CPU count; production
+	// deployments leave it zero.
+	SimulateLatency time.Duration
 }
 
 // Server is the reusetoold service core: share-nothing except the
@@ -76,7 +101,16 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = 16 << 20
 	}
 	m := NewMetrics()
-	c, err := NewResultCache(cfg.CacheEntries, cfg.CacheDir, m)
+	var rc *RemoteCache
+	if cfg.RemoteCache != "" {
+		rc = NewRemoteCache(cfg.RemoteCache, m)
+	}
+	c, err := NewResultCache(CacheOptions{
+		MaxEntries:       cfg.CacheEntries,
+		Dir:              cfg.CacheDir,
+		Remote:           rc,
+		WriteBehindDepth: cfg.WriteBehindDepth,
+	}, m)
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +122,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	// PR 5 route kept as a thin compatible alias.
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
@@ -102,31 +141,33 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the counter registry (for tests and the daemon).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Drain stops job intake and waits for in-flight work, honoring ctx.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// Cache exposes the result cache (for tests and the daemon).
+func (s *Server) Cache() *ResultCache { return s.cache }
 
-// JobJSON is the wire form of a job in API responses.
-type JobJSON struct {
-	ID        string          `json:"id"`
-	Status    JobStatus       `json:"status"`
-	Key       string          `json:"key"`
-	CacheHit  bool            `json:"cache_hit"`
-	Error     string          `json:"error,omitempty"`
-	Submitted string          `json:"submitted,omitempty"`
-	Started   string          `json:"started,omitempty"`
-	Finished  string          `json:"finished,omitempty"`
-	Report    string          `json:"report,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
+// Drain stops job intake, waits for in-flight work, then flushes the
+// cache's async tiers (disk writer and write-behind queue), all
+// honoring ctx. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.sched.Drain(ctx)
+	if cerr := s.cache.Close(ctx); err == nil {
+		err = cerr
+	}
+	return err
 }
+
+// JobJSON is the wire form of a job in API responses, defined by the
+// public client package.
+type JobJSON = client.Job
 
 func jobJSON(j *Job) *JobJSON {
 	snap := j.Snapshot()
 	out := &JobJSON{
-		ID:       snap.ID,
-		Status:   snap.Status,
-		Key:      snap.Key,
-		CacheHit: snap.CacheHit,
-		Error:    snap.Err,
+		APIVersion: client.APIVersion,
+		ID:         snap.ID,
+		Status:     snap.Status,
+		Key:        snap.Key,
+		CacheHit:   snap.CacheHit,
+		Error:      snap.Err,
 	}
 	stamp := func(t time.Time) string {
 		if t.IsZero() {
@@ -139,7 +180,7 @@ func jobJSON(j *Job) *JobJSON {
 	out.Finished = stamp(snap.Finished)
 	if snap.Status == JobDone && snap.Result != nil {
 		out.Report = string(snap.Result.Report)
-		out.Result = json.RawMessage(snap.Result.JSON)
+		out.Result = []byte(snap.Result.JSON)
 	}
 	return out
 }
@@ -152,40 +193,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+// writeError emits the structured v1 error envelope:
+// {"api_version":"v1","error":{"code":"...","message":"..."}}.
+func writeError(w http.ResponseWriter, status int, code client.ErrorCode, format string, args ...any) {
+	writeJSON(w, status, client.ErrorEnvelope{
+		APIVersion: client.APIVersion,
+		Err:        client.ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "read body: %v", err)
 		return
 	}
 	if int64(len(body)) > s.cfg.MaxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		writeError(w, http.StatusRequestEntityTooLarge, client.CodeTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
 		return
 	}
 	var req AnalyzeRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode request: %v", err)
 		return
 	}
 	rr, err := resolve(req, s.cfg.MaxJobTimeout)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "%v", err)
 		return
 	}
 	key := rr.cacheKey()
 
 	// Warm path: serve the content-addressed result without scheduling.
-	if entry, ok := s.cache.Get(key); ok {
+	// The request context bounds the remote-tier lookup, so a sick
+	// cache peer delays this submission only, not the daemon.
+	if entry, ok := s.cache.Get(r.Context(), key); ok {
 		j := s.sched.NewJob(key, rr.timeout, nil)
 		s.sched.Complete(j, entry, true)
 		writeJSON(w, http.StatusOK, jobJSON(j))
@@ -194,6 +238,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	// Cold path: queue the analysis.
 	j := s.sched.NewJob(key, rr.timeout, func(ctx context.Context) (*CacheEntry, error) {
+		if s.cfg.SimulateLatency > 0 {
+			select {
+			case <-time.After(s.cfg.SimulateLatency):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
 		entry, err := rr.execute(ctx)
 		if err != nil {
 			return nil, err
@@ -202,11 +253,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return entry, nil
 	})
 	if err := s.sched.Submit(j); err != nil {
-		status := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, client.CodeDraining
 		if err == ErrQueueFull {
-			status = http.StatusTooManyRequests
+			status, code = http.StatusTooManyRequests, client.CodeQueueFull
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobJSON(j))
@@ -215,47 +266,121 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, client.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, jobJSON(j))
 }
 
+// handleJobList serves GET /v1/jobs: job summaries in submission
+// order, optionally filtered with ?state=queued|running|done|failed|canceled.
+// Summaries omit the report and result payloads — fetch a job by ID
+// for those.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	state := JobStatus(r.URL.Query().Get("state"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "unknown state %q", state)
+		return
+	}
+	list := client.JobList{APIVersion: client.APIVersion, Jobs: []client.Job{}}
+	for _, j := range s.sched.Jobs() {
+		doc := jobJSON(j)
+		if state != "" && doc.Status != state {
+			continue
+		}
+		doc.Report, doc.Result = "", nil
+		list.Jobs = append(list.Jobs, *doc)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.sched.Job(id); !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		writeError(w, http.StatusNotFound, client.CodeNotFound, "unknown job %q", id)
 		return
 	}
 	if !s.sched.Cancel(id) {
-		writeError(w, http.StatusConflict, "job %s is not cancelable", id)
+		writeError(w, http.StatusConflict, client.CodeConflict, "job %s is not cancelable", id)
 		return
 	}
 	j, _ := s.sched.Job(id)
 	writeJSON(w, http.StatusOK, jobJSON(j))
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleCacheGet serves the shared-tier peer protocol: a verified
+// local entry (memory or disk tier; never recursing into this
+// daemon's own remote tier) as a gob stream.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "malformed cache key %q", key)
+		return
+	}
+	e, _ := s.cache.lookupLocal(key)
+	if e == nil {
+		s.metrics.PeerMisses.Add(1)
+		writeError(w, http.StatusNotFound, client.CodeNotFound, "no cache entry %s", key)
+		return
+	}
+	s.metrics.PeerHits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = gob.NewEncoder(w).Encode(e)
+}
+
+// handleCachePut accepts a peer's write-behind entry after verifying
+// its fingerprint, storing it in the local tiers only (no write-behind
+// echo, so two peers pointing at each other cannot loop).
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "malformed cache key %q", key)
+		return
+	}
+	var e CacheEntry
+	if err := gob.NewDecoder(io.LimitReader(r.Body, maxCacheEntryBytes)).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode entry: %v", err)
+		return
+	}
+	if e.Key != key {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "entry key %s does not match path %s", e.Key, key)
+		return
+	}
+	if err := e.verify(); err != nil {
+		writeError(w, http.StatusBadRequest, client.CodeInvalidRequest, "verify: %v", err)
+		return
+	}
+	s.cache.PutLocal(&e)
+	s.metrics.PeerPuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	code := http.StatusOK
 	if s.sched.Draining() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"workers":     s.cfg.Workers,
-		"queue_depth": s.sched.QueueDepth(),
-		"running":     s.sched.Running(),
+	writeJSON(w, code, client.Health{
+		APIVersion: client.APIVersion,
+		Status:     status,
+		Role:       "worker",
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.sched.QueueDepth(),
+		Running:    s.sched.Running(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w, Gauges{
-		QueueDepth:   s.sched.QueueDepth(),
-		RunningJobs:  s.sched.Running(),
-		CacheEntries: s.cache.Len(),
-		Draining:     s.sched.Draining(),
+		QueueDepth:       s.sched.QueueDepth(),
+		RunningJobs:      s.sched.Running(),
+		CacheEntries:     s.cache.Len(),
+		WriteBehindDepth: s.cache.WriteBehindLen(),
+		Draining:         s.sched.Draining(),
 	})
 }

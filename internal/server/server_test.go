@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"reusetool/pkg/client"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -36,6 +38,18 @@ func postAnalyze(t *testing.T, ts *httptest.Server, req AnalyzeRequest) (*JobJSO
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		// Non-2xx responses carry the structured error envelope; surface
+		// the message through the job's Error field for assertions.
+		var env client.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("decode error envelope (status %d): %v", resp.StatusCode, err)
+		}
+		if env.Err.Code == "" {
+			t.Fatalf("status %d response missing error code", resp.StatusCode)
+		}
+		return &JobJSON{Error: env.Err.Message}, resp.StatusCode
+	}
 	var j JobJSON
 	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
 		t.Fatalf("decode response (status %d): %v", resp.StatusCode, err)

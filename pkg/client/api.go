@@ -1,0 +1,188 @@
+package client
+
+// This file is the source of truth for the reusetoold v1 wire format.
+// The server (internal/server) and the cluster coordinator
+// (internal/cluster) marshal these exact types, so a client built on
+// this package can never drift from the daemon.
+
+// APIVersion is stamped into every v1 response body.
+const APIVersion = "v1"
+
+// AnalyzeRequest is the POST /v1/analyze body. Exactly one program
+// source must be given: a built-in workload name, inline .loop source,
+// or a saved persist stream (base64-encoded by encoding/json) — the
+// artifact may also accompany a workload/program, in which case the
+// collector is restored from it instead of re-running the interpreter.
+// The remaining fields mirror core.Options and the CLI's report knobs.
+type AnalyzeRequest struct {
+	// Workload names a built-in workload (see workloads.Names).
+	Workload string `json:"workload,omitempty"`
+	// Program is inline .loop source (see internal/lang).
+	Program string `json:"program,omitempty"`
+	// Artifact is a persist-v2 stream of previously collected data.
+	Artifact []byte `json:"artifact,omitempty"`
+
+	// Params override program parameter defaults.
+	Params map[string]int64 `json:"params,omitempty"`
+	// Hierarchy selects the target machine: "scaled" (default), "full",
+	// or "opteron".
+	Hierarchy string `json:"hierarchy,omitempty"`
+	// Mode selects the pipeline: "dynamic" (default) or "static".
+	Mode string `json:"mode,omitempty"`
+	// HistRes overrides the histogram resolution (0 = default).
+	HistRes int `json:"histres,omitempty"`
+	// Level and MinShare shape the rendered text report (defaults "L2",
+	// 0.02).
+	Level    string  `json:"level,omitempty"`
+	MinShare float64 `json:"minshare,omitempty"`
+	// TimeoutMS overrides the job deadline, capped by the daemon.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is the lifecycle state of a scheduled analysis.
+type JobStatus string
+
+// Job lifecycle states. Queued jobs sit in the FIFO queue; Running jobs
+// occupy a worker; the three terminal states distinguish success,
+// failure, and cancellation (which includes deadline expiry).
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is the wire form of a job in API responses.
+type Job struct {
+	APIVersion string    `json:"api_version,omitempty"`
+	ID         string    `json:"id"`
+	Status     JobStatus `json:"status"`
+	Key        string    `json:"key"`
+	CacheHit   bool      `json:"cache_hit"`
+	// Node is the worker that ran the job, set by the coordinator.
+	Node string `json:"node,omitempty"`
+	// Rerouted counts how many times the coordinator moved the job to
+	// another worker after a node failure.
+	Rerouted  int    `json:"rerouted,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Submitted string `json:"submitted,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	Report    string `json:"report,omitempty"`
+	Result    []byte `json:"result,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response: job summaries (no report or
+// result payloads) in submission order.
+type JobList struct {
+	APIVersion string `json:"api_version"`
+	Jobs       []Job  `json:"jobs"`
+}
+
+// Health is the GET /v1/health (and legacy /healthz) response.
+type Health struct {
+	APIVersion string `json:"api_version,omitempty"`
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Role distinguishes a worker daemon from a coordinator.
+	Role       string `json:"role,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	// NodesHealthy counts registered healthy workers (coordinator only).
+	NodesHealthy int `json:"nodes_healthy,omitempty"`
+}
+
+// Node is one worker's state in the coordinator's GET /v1/nodes
+// response.
+type Node struct {
+	// URL is the worker daemon's base address.
+	URL string `json:"url"`
+	// Healthy reports ring membership: false means the node was evicted
+	// after consecutive probe failures and takes no new jobs.
+	Healthy bool `json:"healthy"`
+	// Inflight counts jobs the coordinator currently has on this node.
+	Inflight int `json:"inflight"`
+	// Failures counts consecutive failed health probes.
+	Failures int `json:"failures,omitempty"`
+}
+
+// NodeList is the GET /v1/nodes response (coordinator only), in
+// sorted URL order.
+type NodeList struct {
+	APIVersion string `json:"api_version"`
+	Nodes      []Node `json:"nodes"`
+}
+
+// ErrorCode classifies API failures so clients can branch without
+// parsing messages.
+type ErrorCode string
+
+// Error codes carried in the {"error":{"code",...}} envelope.
+const (
+	// CodeInvalidRequest: the request body or parameters were rejected (400).
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeTooLarge: the request body exceeded the daemon's cap (413).
+	CodeTooLarge ErrorCode = "too_large"
+	// CodeNotFound: no such job, node, or cache entry (404).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict: the operation does not apply in the current state,
+	// e.g. canceling a finished job (409).
+	CodeConflict ErrorCode = "conflict"
+	// CodeQueueFull: the scheduler queue is at capacity; retry with
+	// backoff (429).
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeDraining: the daemon is shutting down and refuses intake (503).
+	CodeDraining ErrorCode = "draining"
+	// CodeUnavailable: no healthy worker can take the job (503).
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeUpstream: the coordinator could not reach a worker (502).
+	CodeUpstream ErrorCode = "upstream"
+	// CodeInternal: unexpected server-side failure (500).
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorBody is the structured error carried on every non-2xx response.
+type ErrorBody struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorEnvelope is the non-2xx response body:
+// {"api_version":"v1","error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	APIVersion string    `json:"api_version,omitempty"`
+	Err        ErrorBody `json:"error"`
+}
+
+// Error is the typed client-side form of an API failure.
+type Error struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the machine-readable error class.
+	Code ErrorCode
+	// Message is the human-readable detail.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return "reusetoold: " + string(e.Code) + " (" + e.Message + ")"
+}
+
+// Temporary reports whether retrying the same request later may
+// succeed: back-pressure, drain, and upstream connectivity failures
+// are temporary; validation failures are not.
+func (e *Error) Temporary() bool {
+	switch e.Code {
+	case CodeQueueFull, CodeDraining, CodeUnavailable, CodeUpstream:
+		return true
+	}
+	return e.Status >= 500
+}
