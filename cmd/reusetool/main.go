@@ -35,13 +35,29 @@
 //	reusetool -workload gtc -cpuprofile cpu.pprof > /dev/null
 //	go tool pprof cpu.pprof
 //
-// -check runs the static kernel checker instead of any analysis: it
-// parses each .loop file (or builds the -workload/-program) and reports
-// provably out-of-bounds subscripts, data arrays read through load but
-// never written or initialized, declared-but-unused parameters, and
-// provably empty loops, one file:line diagnostic per finding. The exit
-// status is 1 when there are findings, 2 on usage or parse errors, and
-// 0 for a clean program.
+// -check runs the static checker (internal/reusecheck) instead of any
+// analysis: it parses each .loop file (or builds the -workload/-program)
+// and reports defects — provably out-of-bounds subscripts (oob),
+// uninitialized data arrays (uninit-data), unused parameters
+// (unused-param), provably empty loops (empty-loop), stores overwritten
+// before any read (dead-store), provably constant guards (dead-guard) —
+// and ranked reuse opportunities, each with a predicted miss reduction
+// and a dependence-legality verdict: hoistable loop-invariant loads
+// (invariant-load), regions re-swept by an outer loop
+// (redundant-region), and access orders that fight the memory layout
+// (layout-mismatch). Provable in-bounds accesses are reported as
+// bounds-proved notes with -notes (always present in -json output).
+// Diagnostics are deduplicated and sorted by file:line:code across all
+// targets, so output is byte-reproducible.
+//
+// Checker exit codes:
+//
+//	0  clean (no defects or opportunities; notes do not count)
+//	1  findings reported
+//	2  usage or parse errors
+//
+// -check -json emits one machine-readable JSON object instead of text:
+// {"findings": N, "diagnostics": [...]} with the same ordering.
 //
 // Workloads: fig1a, fig1b, fig2, stream, stencil, transpose, sweep3d,
 // sweep3d-blk6, sweep3d-blk6ic, gtc, gtc-tuned.
@@ -63,6 +79,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,11 +94,11 @@ import (
 	"reusetool/internal/cache"
 	"reusetool/internal/cct"
 	"reusetool/internal/core"
-	"reusetool/internal/depend"
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
+	"reusetool/internal/reusecheck"
 	"reusetool/internal/trace"
 	"reusetool/internal/tracefile"
 	"reusetool/internal/viewer"
@@ -130,30 +147,34 @@ var modeTable = []struct {
 	rejects  []string
 	reason   string
 }{
-	{selector: "", mode: modeDynamic},
+	{
+		selector: "", mode: modeDynamic,
+		rejects: []string{"json", "notes"},
+		reason:  "they shape the -check output only",
+	},
 	{
 		selector: "static", mode: modeStatic,
-		rejects: []string{"save", "dump-trace", "cct"},
-		reason:  "they require executing the workload",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes"},
+		reason:  "they require executing the workload or apply to -check only",
 	},
 	{
 		selector: "static-validate", mode: modeValidate,
-		rejects: []string{"save", "dump-trace", "cct", "xml", "compare"},
+		rejects: []string{"save", "dump-trace", "cct", "xml", "compare", "json", "notes"},
 		reason:  "the validation table is the only output of this mode",
 	},
 	{
 		selector: "load", mode: modeSaved,
-		rejects: []string{"save", "dump-trace", "cct"},
-		reason:  "they require executing the workload, which -load skips",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes"},
+		reason:  "they require executing the workload, which -load skips, or apply to -check only",
 	},
 	{
 		selector: "from-trace", mode: modeTrace,
-		rejects: []string{"workload", "program", "param", "save", "dump-trace", "cct", "compare"},
+		rejects: []string{"workload", "program", "param", "save", "dump-trace", "cct", "compare", "json", "notes"},
 		reason:  "the trace file replaces the workload",
 	},
 	{
 		selector: "dump-program", mode: modeDumpProgram,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes"},
 		reason:  "no analysis runs in this mode",
 	},
 	{
@@ -163,7 +184,7 @@ var modeTable = []struct {
 	},
 	{
 		selector: "remote", mode: modeRemote,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes"},
 		reason:  "the analysis runs on the daemon, which serves the text and JSON reports only",
 	},
 }
@@ -192,6 +213,10 @@ func resolveMode(set map[string]bool) (string, error) {
 		}
 	}
 	if len(bad) > 0 {
+		if entry.selector == "" {
+			return "", fmt.Errorf("conflicting flags: %s apply to the -check mode only (%s)",
+				strings.Join(bad, ", "), entry.reason)
+		}
 		return "", fmt.Errorf("conflicting flags: -%s cannot be combined with %s (%s)",
 			entry.selector, strings.Join(bad, ", "), entry.reason)
 	}
@@ -226,6 +251,8 @@ func run() int {
 		static    = flag.Bool("static", false, "predict reports symbolically from the IR, without executing the workload")
 		staticVal = flag.Bool("static-validate", false, "run both pipelines and print a per-reference static-vs-dynamic miss comparison at -level")
 		check     = flag.Bool("check", false, "statically check .loop programs (positional args) or the -workload/-program, then exit")
+		jsonOut   = flag.Bool("json", false, "with -check: emit machine-readable JSON diagnostics")
+		notes     = flag.Bool("notes", false, "with -check: also print informational notes (bounds-proved)")
 		remote    = flag.String("remote", "", "submit the analysis to a reusetoold daemon at this base URL instead of running it in-process")
 		timeout   = flag.Duration("timeout", 0, "abandon the analysis after this long (exit status 3); 0 means no deadline")
 	)
@@ -281,7 +308,12 @@ func run() int {
 	}
 
 	if mode == modeCheck {
-		return runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params)
+		hier := cache.ScaledItanium2()
+		if *full {
+			hier = cache.Itanium2()
+		}
+		return runCheck(os.Stdout, os.Stderr, flag.Args(), *workload, *progFile, params,
+			checkConfig{hier: hier, level: *level, json: *jsonOut, notes: *notes})
 	}
 
 	// -timeout bounds everything past flag validation. The deadline
@@ -651,16 +683,42 @@ func analyzeTraceFile(ctx context.Context, path, level string, share float64, xm
 	return res.WriteSummary(os.Stdout, level, share)
 }
 
-// loadProgramFile parses a .loop program (see internal/lang).
+// checkConfig bundles the report-shaping options of the -check mode.
+type checkConfig struct {
+	hier  *cache.Hierarchy
+	level string
+	json  bool
+	notes bool
+}
+
+// checkOutput is the -check -json document.
+type checkOutput struct {
+	Findings    int                     `json:"findings"`
+	Diagnostics []reusecheck.Diagnostic `json:"diagnostics"`
+}
+
 // runCheck is the -check mode. Positional arguments name .loop files to
 // check; with none, the -program file or -workload builds the target.
 // Built-in workloads fill their data arrays from Go init code, so the
-// uninitialized-data check is suppressed for them. Returns the process
-// exit code: 0 clean, 1 findings, 2 usage/parse errors.
-func runCheck(out, errw io.Writer, files []string, workload, progFile string, params map[string]int64) int {
+// uninitialized-data check is suppressed for them. Diagnostics from all
+// targets are merged, deduplicated and sorted by file:line:code, so the
+// output is byte-reproducible regardless of target order. Returns the
+// process exit code: 0 clean, 1 findings, 2 usage/parse errors.
+func runCheck(out, errw io.Writer, files []string, workload, progFile string,
+	params map[string]int64, cfg checkConfig) int {
+	if cfg.hier == nil {
+		cfg.hier = cache.ScaledItanium2()
+	}
+	if cfg.level == "" {
+		cfg.level = "L2"
+	}
+	if cfg.hier.Level(cfg.level) == nil {
+		fmt.Fprintf(errw, "unknown level %q\n", cfg.level)
+		return 2
+	}
 	type target struct {
 		prog *ir.Program
-		opts depend.CheckOptions
+		opts reusecheck.Options
 	}
 	if len(files) == 0 && progFile != "" {
 		files = []string{progFile}
@@ -678,7 +736,7 @@ func runCheck(out, errw io.Writer, files []string, workload, progFile string, pa
 				fmt.Fprintln(errw, err)
 				return 2
 			}
-			targets = append(targets, target{prog: prog, opts: depend.CheckOptions{
+			targets = append(targets, target{prog: prog, opts: reusecheck.Options{
 				Params:      params,
 				Initialized: meta.Inited,
 				ParamLines:  meta.ParamLines,
@@ -691,22 +749,39 @@ func runCheck(out, errw io.Writer, files []string, workload, progFile string, pa
 			fmt.Fprintln(errw, err)
 			return 2
 		}
-		targets = append(targets, target{prog: prog, opts: depend.CheckOptions{
+		targets = append(targets, target{prog: prog, opts: reusecheck.Options{
 			Params:            params,
 			AssumeInitialized: init != nil,
 		}})
 	}
 
-	findings := 0
+	all := []reusecheck.Diagnostic{}
 	for _, t := range targets {
 		info, err := t.prog.Finalize()
 		if err != nil {
 			fmt.Fprintln(errw, err)
 			return 2
 		}
-		for _, d := range depend.Check(info, t.opts) {
+		t.opts.Hier = cfg.hier
+		t.opts.Level = cfg.level
+		all = append(all, reusecheck.Check(info, t.opts)...)
+	}
+	all = reusecheck.Sort(all)
+	findings := reusecheck.Findings(all)
+
+	if cfg.json {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(checkOutput{Findings: findings, Diagnostics: all}); err != nil {
+			fmt.Fprintln(errw, err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			if d.Severity == reusecheck.SevNote && !cfg.notes {
+				continue
+			}
 			fmt.Fprintln(out, d)
-			findings++
 		}
 	}
 	if findings > 0 {
@@ -716,6 +791,7 @@ func runCheck(out, errw io.Writer, files []string, workload, progFile string, pa
 	return 0
 }
 
+// loadProgramFile parses a .loop program (see internal/lang).
 func loadProgramFile(path string) (*ir.Program, func(*interp.Machine) error, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -2,11 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
+
+// -update regenerates the golden files under testdata/check.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestBuildWorkloadAllNames(t *testing.T) {
 	names := []string{
@@ -104,6 +111,17 @@ func TestResolveMode(t *testing.T) {
 			wantErr: []string{"-check", "-xml"}},
 		{name: "check static", set: set("check", "static"),
 			wantErr: []string{"-check", "-static", "choose one"}},
+
+		{name: "check json", set: set("check", "json"), want: modeCheck},
+		{name: "check notes", set: set("check", "json", "notes"), want: modeCheck},
+		{name: "json without check", set: set("json"),
+			wantErr: []string{"-json", "-check mode only"}},
+		{name: "notes without check", set: set("notes", "workload"),
+			wantErr: []string{"-notes", "-check mode only"}},
+		{name: "static json", set: set("static", "json"),
+			wantErr: []string{"-static", "-json"}},
+		{name: "load notes", set: set("load", "notes"),
+			wantErr: []string{"-load", "-notes"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -151,25 +169,104 @@ func TestParamList(t *testing.T) {
 	}
 }
 
-// TestRunCheckCleanPrograms: every shipped .loop program and built-in
-// workload must pass the static checker.
-func TestRunCheckCleanPrograms(t *testing.T) {
+// checkGolden runs the checker for one target and compares the exact
+// output (including notes, the finding count, and the exit code)
+// against testdata/check/<name>.golden. Run with -update to
+// regenerate.
+func checkGolden(t *testing.T, name string, files []string, workload string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := runCheck(&out, &errw, files, workload, "", nil, checkConfig{notes: true})
+	if code == 2 {
+		t.Fatalf("%s: usage error:\n%s", name, errw.String())
+	}
+	got := fmt.Sprintf("exit %d\n%s%s", code, out.String(), errw.String())
+	path := filepath.Join("testdata", "check", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s (run go test -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: checker output drifted from golden (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestRunCheckGoldenPrograms pins the checker's byte-exact output for
+// every shipped .loop program: the diagnostics may legitimately
+// include findings (ranked opportunities), so the goldens pin both the
+// text and the exit code instead of demanding exit 0.
+func TestRunCheckGoldenPrograms(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("..", "..", "programs", "*.loop"))
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no .loop programs found: %v", err)
 	}
-	var out, errw bytes.Buffer
-	if code := runCheck(&out, &errw, files, "", "", nil); code != 0 {
-		t.Errorf("checker on shipped programs: exit %d\n%s%s", code, out.String(), errw.String())
+	sort.Strings(files)
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".loop")
+		t.Run(name, func(t *testing.T) {
+			checkGolden(t, name, []string{f}, "")
+		})
 	}
+}
+
+// TestRunCheckGoldenWorkloads pins the checker output for every
+// built-in workload, including the predicted miss deltas and legality
+// verdicts on the paper's case studies (fig1a, fig2, stencil,
+// transpose, sweep3d).
+func TestRunCheckGoldenWorkloads(t *testing.T) {
 	for _, w := range []string{
 		"fig1a", "fig1b", "fig2", "stream", "stencil", "transpose",
 		"sweep3d", "sweep3d-blk6", "sweep3d-blk6ic", "gtc", "gtc-tuned",
 	} {
-		out.Reset()
-		errw.Reset()
-		if code := runCheck(&out, &errw, nil, w, "", nil); code != 0 {
-			t.Errorf("checker on workload %s: exit %d\n%s%s", w, code, out.String(), errw.String())
+		t.Run(w, func(t *testing.T) {
+			checkGolden(t, "workload-"+w, nil, w)
+		})
+	}
+}
+
+// TestRunCheckJSON: the -json document decodes, counts findings
+// consistently, and stays sorted by file:line:code.
+func TestRunCheckJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	path := filepath.Join("..", "..", "programs", "matmul.loop")
+	code := runCheck(&out, &errw, []string{path}, "", "", nil, checkConfig{json: true})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (matmul has ranked opportunities)\n%s", code, errw.String())
+	}
+	var doc checkOutput
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decode -json output: %v\n%s", err, out.String())
+	}
+	if len(doc.Diagnostics) == 0 {
+		t.Fatal("no diagnostics in JSON document")
+	}
+	n := 0
+	for _, d := range doc.Diagnostics {
+		if d.Severity.String() != "note" {
+			n++
+		}
+	}
+	if n != doc.Findings {
+		t.Errorf("findings = %d, but %d non-note diagnostics", doc.Findings, n)
+	}
+	for i := 1; i < len(doc.Diagnostics); i++ {
+		a, b := doc.Diagnostics[i-1], doc.Diagnostics[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %s:%d after %s:%d", b.File, b.Line, a.File, a.Line)
+		}
+	}
+	for _, d := range doc.Diagnostics {
+		if d.Code == "redundant-region" && d.Legality == "" {
+			t.Errorf("opportunity %s:%d has no legality verdict", d.File, d.Line)
 		}
 	}
 }
@@ -197,7 +294,7 @@ routine main file bad.f line 1 {
 		t.Fatal(err)
 	}
 	var out, errw bytes.Buffer
-	code := runCheck(&out, &errw, []string{path}, "", "", nil)
+	code := runCheck(&out, &errw, []string{path}, "", "", nil, checkConfig{})
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errw.String())
 	}
@@ -217,7 +314,7 @@ func TestRunCheckParseError(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errw bytes.Buffer
-	if code := runCheck(&out, &errw, []string{path}, "", "", nil); code != 2 {
+	if code := runCheck(&out, &errw, []string{path}, "", "", nil, checkConfig{}); code != 2 {
 		t.Fatalf("exit = %d, want 2\n%s", code, errw.String())
 	}
 	if !strings.Contains(errw.String(), "broken.loop") {

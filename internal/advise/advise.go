@@ -65,6 +65,9 @@ const (
 	// (time skewing) is provably illegal: the paper's "accept the
 	// misses" outcome.
 	KindIntrinsic
+	// KindHoist recommends hoisting a loop-invariant load into a scalar
+	// before its innermost loop (from the static reuse checker).
+	KindHoist
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +89,8 @@ func (k Kind) String() string {
 		return "general"
 	case KindIntrinsic:
 		return "intrinsic"
+	case KindHoist:
+		return "hoist"
 	}
 	return "?"
 }

@@ -1,0 +1,104 @@
+package advise
+
+import (
+	"fmt"
+	"sort"
+
+	"reusetool/internal/depend"
+	"reusetool/internal/reusecheck"
+	"reusetool/internal/trace"
+)
+
+// Opportunities converts the static checker's opportunity diagnostics
+// into ranked advice items, so reusecheck findings flow through the
+// same presentation path (viewer.AdviceRecs) as Table I advice.
+// Defects and notes are dropped; opportunities are ranked by their
+// predicted miss reduction, with Share computed against totalMisses
+// when it is positive. Ties break on the diagnostic's canonical
+// file:line:code order, so the result is deterministic.
+func Opportunities(diags []reusecheck.Diagnostic, totalMisses float64) []Recommendation {
+	type ranked struct {
+		rec  Recommendation
+		diag reusecheck.Diagnostic
+	}
+	var out []ranked
+	for _, d := range diags {
+		if d.Severity != reusecheck.SevOpportunity {
+			continue
+		}
+		rec := Recommendation{
+			Kind:         opportunityKind(d),
+			Source:       trace.NoScope,
+			Dest:         trace.NoScope,
+			Carrying:     trace.NoScope,
+			Misses:       d.MissDelta,
+			Rationale:    opportunityRationale(d),
+			Legality:     parseLegality(d.Legality),
+			LegalityNote: d.LegalityNote,
+		}
+		if totalMisses > 0 {
+			rec.Share = d.MissDelta / totalMisses
+		}
+		out = append(out, ranked{rec: rec, diag: d})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.rec.Misses != b.rec.Misses {
+			return a.rec.Misses > b.rec.Misses
+		}
+		if a.diag.File != b.diag.File {
+			return a.diag.File < b.diag.File
+		}
+		if a.diag.Line != b.diag.Line {
+			return a.diag.Line < b.diag.Line
+		}
+		return a.diag.Code < b.diag.Code
+	})
+	recs := make([]Recommendation, len(out))
+	for i, r := range out {
+		recs[i] = r.rec
+	}
+	return recs
+}
+
+// opportunityKind maps a diagnostic code and transform to the advice
+// kind whose fix it proposes.
+func opportunityKind(d reusecheck.Diagnostic) Kind {
+	switch d.Code {
+	case "invariant-load":
+		return KindHoist
+	case "redundant-region":
+		if d.Transform == "time-skew" {
+			return KindTimeSkew
+		}
+		return KindInterchange
+	case "layout-mismatch":
+		return KindInterchange
+	}
+	return KindGeneral
+}
+
+// opportunityRationale folds the diagnostic's message, position and
+// fix-it hint into one advice rationale line.
+func opportunityRationale(d reusecheck.Diagnostic) string {
+	s := d.Msg
+	if d.File != "" {
+		s += fmt.Sprintf(" [%s:%d]", d.File, d.Line)
+	}
+	if d.Hint != "" {
+		s += "; " + d.Hint
+	}
+	return s
+}
+
+// parseLegality decodes the diagnostic's string verdict back into the
+// depend enum; anything unrecognized stays unknown, never legal.
+func parseLegality(s string) depend.Legality {
+	switch s {
+	case "legal":
+		return depend.Legal
+	case "illegal":
+		return depend.Illegal
+	}
+	return depend.LegalityUnknown
+}

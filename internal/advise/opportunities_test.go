@@ -1,0 +1,78 @@
+package advise
+
+import (
+	"strings"
+	"testing"
+
+	"reusetool/internal/depend"
+	"reusetool/internal/reusecheck"
+)
+
+func TestOpportunities(t *testing.T) {
+	diags := []reusecheck.Diagnostic{
+		{File: "a.f", Line: 3, Code: "dead-store", Severity: reusecheck.SevDefect, Msg: "dropped"},
+		{File: "a.f", Line: 9, Code: "bounds-proved", Severity: reusecheck.SevNote, Msg: "dropped"},
+		{File: "a.f", Line: 5, Code: "invariant-load", Severity: reusecheck.SevOpportunity,
+			Msg: "B[k,j] is invariant", Hint: "hoist it", MissDelta: 100,
+			Transform: "hoist", Legality: "legal", LegalityNote: "no aliasing write"},
+		{File: "a.f", Line: 7, Code: "redundant-region", Severity: reusecheck.SevOpportunity,
+			Msg: "re-reads region", MissDelta: 400,
+			Transform: "time-skew", Legality: "illegal", LegalityNote: "blocked"},
+		{File: "a.f", Line: 8, Code: "redundant-region", Severity: reusecheck.SevOpportunity,
+			Msg: "re-reads region", MissDelta: 200,
+			Transform: "interchange", Legality: "unknown", LegalityNote: "undecided"},
+		{File: "a.f", Line: 2, Code: "layout-mismatch", Severity: reusecheck.SevOpportunity,
+			Msg: "strides fight layout", MissDelta: 400,
+			Transform: "interchange", Legality: "legal"},
+	}
+	recs := Opportunities(diags, 1000)
+	if len(recs) != 4 {
+		t.Fatalf("recommendations = %d, want 4 (defects and notes dropped)", len(recs))
+	}
+
+	// Ranked by misses descending; the 400-miss tie breaks on
+	// file:line order (line 2 before line 7).
+	wantMisses := []float64{400, 400, 200, 100}
+	for i, w := range wantMisses {
+		if recs[i].Misses != w {
+			t.Errorf("rec %d misses = %v, want %v", i, recs[i].Misses, w)
+		}
+	}
+	if recs[0].Kind != KindInterchange {
+		t.Errorf("tie-break: rec 0 kind = %v, want interchange (layout-mismatch at line 2)", recs[0].Kind)
+	}
+	if recs[1].Kind != KindTimeSkew {
+		t.Errorf("rec 1 kind = %v, want time-skew", recs[1].Kind)
+	}
+	if recs[2].Kind != KindInterchange || recs[2].Legality != depend.LegalityUnknown {
+		t.Errorf("rec 2 = %+v, want interchange/unknown", recs[2])
+	}
+	if recs[3].Kind != KindHoist || recs[3].Legality != depend.Legal {
+		t.Errorf("rec 3 = %+v, want hoist/legal", recs[3])
+	}
+	if recs[1].Legality != depend.Illegal || recs[1].LegalityNote != "blocked" {
+		t.Errorf("rec 1 legality = %v/%q", recs[1].Legality, recs[1].LegalityNote)
+	}
+	if recs[3].Share != 0.1 {
+		t.Errorf("share = %v, want 0.1", recs[3].Share)
+	}
+	if r := recs[3].Rationale; !strings.Contains(r, "B[k,j] is invariant") ||
+		!strings.Contains(r, "[a.f:5]") || !strings.Contains(r, "hoist it") {
+		t.Errorf("rationale = %q", r)
+	}
+}
+
+func TestOpportunitiesZeroTotal(t *testing.T) {
+	recs := Opportunities([]reusecheck.Diagnostic{
+		{Code: "invariant-load", Severity: reusecheck.SevOpportunity, MissDelta: 5, Legality: "legal"},
+	}, 0)
+	if len(recs) != 1 || recs[0].Share != 0 {
+		t.Fatalf("zero total: %+v", recs)
+	}
+}
+
+func TestKindHoistString(t *testing.T) {
+	if KindHoist.String() != "hoist" {
+		t.Errorf("KindHoist = %q", KindHoist.String())
+	}
+}

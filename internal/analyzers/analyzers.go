@@ -15,7 +15,9 @@
 //   - ctxpropagate: library code threads context.Context instead of
 //     minting context.Background;
 //   - deprecated: no use of Deprecated: entry points outside their
-//     defining package.
+//     defining package;
+//   - resourceleak: http.Response bodies are closed and time.NewTicker
+//     tickers stopped in the function that acquired them.
 //
 // The //reuse:* directive grammar is documented in DESIGN.md §11.
 package analyzers
@@ -30,5 +32,6 @@ func All() []*analysis.Analyzer {
 		LockCheck,
 		CtxPropagate,
 		Deprecated,
+		ResourceLeak,
 	}
 }

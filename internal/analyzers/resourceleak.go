@@ -1,0 +1,257 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reusetool/internal/analyzers/analysis"
+)
+
+// ResourceLeak flags function-local resources that are acquired but
+// provably never released within the acquiring function:
+//
+//   - an *http.Response obtained from any call whose Body is never
+//     closed (no resp.Body.Close() anywhere in the function) — the
+//     connection cannot be reused and eventually exhausts the pool;
+//   - a *time.Ticker from time.NewTicker that is never stopped — the
+//     ticker's goroutine and channel live for the life of the process.
+//
+// The analysis is intra-procedural and suppresses when ownership
+// escapes: a resource whose variable is used bare — returned, passed
+// to another call, sent on a channel, stored into another variable,
+// field or composite literal — may be released elsewhere and is not
+// reported. Selector reads (resp.StatusCode, ticker.C) neither release
+// nor escape, and reading the body (io.ReadAll(resp.Body)) does not
+// discharge the Close obligation.
+var ResourceLeak = &analysis.Analyzer{
+	Name: "resourceleak",
+	Doc:  "http.Response bodies are closed and time.NewTicker tickers stopped in the acquiring function",
+	Run:  runResourceLeak,
+}
+
+func runResourceLeak(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncLeaks(pass, pkg.Info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// leakKind distinguishes the tracked resource classes.
+type leakKind int
+
+const (
+	leakResponse leakKind = iota
+	leakTicker
+)
+
+// acquisition is one tracked resource-producing call in a function.
+type acquisition struct {
+	kind leakKind
+	call *ast.CallExpr
+	// obj is the local variable holding the resource; nil when the
+	// result was discarded (blank or unused), which is a leak outright.
+	obj types.Object
+	// released and escaped are filled by the use scan.
+	released bool
+	escaped  bool
+}
+
+func checkFuncLeaks(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	var acqs []*acquisition
+
+	// Pass 1: find acquisitions and the variables they bind.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, a := range acquisitionsOf(info, call) {
+				if a.idx < len(n.Lhs) {
+					if id, ok := n.Lhs[a.idx].(*ast.Ident); ok && id.Name != "_" {
+						acqs = append(acqs, &acquisition{kind: a.kind, call: call, obj: info.ObjectOf(id)})
+						continue
+					}
+				}
+				acqs = append(acqs, &acquisition{kind: a.kind, call: call})
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				for _, a := range acquisitionsOf(info, call) {
+					acqs = append(acqs, &acquisition{kind: a.kind, call: call})
+				}
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+	byObj := map[types.Object]*acquisition{}
+	for _, a := range acqs {
+		if a.obj != nil {
+			byObj[a.obj] = a
+		}
+	}
+
+	// Pass 2: classify every use of each tracked variable, with a
+	// parent stack so selector receivers are told apart from escapes.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		a, ok := byObj[info.Uses[id]]
+		if !ok {
+			return true
+		}
+		classifyUse(a, id, stack)
+		return true
+	})
+
+	for _, a := range acqs {
+		if a.released || a.escaped {
+			continue
+		}
+		switch a.kind {
+		case leakResponse:
+			name := "the response"
+			if a.obj != nil {
+				name = a.obj.Name()
+			}
+			pass.Reportf(a.call.Pos(),
+				"http.Response body is never closed; defer %s.Body.Close() after the error check", name)
+		case leakTicker:
+			name := "the ticker"
+			if a.obj != nil {
+				name = a.obj.Name()
+			}
+			pass.Reportf(a.call.Pos(),
+				"time.NewTicker is never stopped; defer %s.Stop() so its goroutine can exit", name)
+		}
+	}
+}
+
+// classifyUse inspects one identifier occurrence of a tracked resource
+// variable: stack ends with the ident, stack[len-2] is its parent.
+func classifyUse(a *acquisition, id *ast.Ident, stack []ast.Node) {
+	parent := parentOf(stack, 1)
+	sel, isSel := parent.(*ast.SelectorExpr)
+	if !isSel || sel.X != id {
+		// Bare use outside a selector receiver: the resource escapes
+		// (returned, argument, RHS of assignment, composite literal,
+		// channel send, &-taken, ...). Its own defining assignment is
+		// not a Uses entry, so it never lands here.
+		a.escaped = true
+		return
+	}
+	switch a.kind {
+	case leakResponse:
+		if sel.Sel.Name != "Body" {
+			return // resp.StatusCode etc.: benign
+		}
+		// resp.Body.Close() — the Body selector wrapped in a Close
+		// selector that is called.
+		if outer, ok := parentOf(stack, 2).(*ast.SelectorExpr); ok && outer.Sel.Name == "Close" {
+			if call, ok := parentOf(stack, 3).(*ast.CallExpr); ok && call.Fun == outer {
+				a.released = true
+				return
+			}
+		}
+		// Any other resp.Body use — io.ReadAll(resp.Body),
+		// json.NewDecoder(resp.Body), resp.Body.Read(...) — reads the
+		// stream without closing it; the caller still owes the Close.
+	case leakTicker:
+		if sel.Sel.Name == "Stop" {
+			if call, ok := parentOf(stack, 2).(*ast.CallExpr); ok && call.Fun == sel {
+				a.released = true
+			}
+			return
+		}
+		// ticker.C receives, ticker.Reset: benign uses.
+	}
+}
+
+// parentOf returns the stack entry up levels above the last element
+// (which is the ident itself), or nil.
+func parentOf(stack []ast.Node, up int) ast.Node {
+	i := len(stack) - 1 - up
+	if i < 0 {
+		return nil
+	}
+	return stack[i]
+}
+
+// typedAcq is one resource-typed result position of a call.
+type typedAcq struct {
+	kind leakKind
+	idx  int
+}
+
+// acquisitionsOf reports which result positions of a call produce
+// tracked resources.
+func acquisitionsOf(info *types.Info, call *ast.CallExpr) []typedAcq {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []typedAcq
+	add := func(idx int, t types.Type) {
+		if isPtrToNamed(t, "net/http", "Response") {
+			out = append(out, typedAcq{kind: leakResponse, idx: idx})
+		}
+		if isPtrToNamed(t, "time", "Ticker") && isNewTickerCall(info, call) {
+			out = append(out, typedAcq{kind: leakTicker, idx: idx})
+		}
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			add(i, tuple.At(i).Type())
+		}
+	} else {
+		add(0, t)
+	}
+	return out
+}
+
+// isNewTickerCall restricts ticker tracking to time.NewTicker: other
+// *time.Ticker-returning helpers hand out tickers they own.
+func isNewTickerCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "NewTicker"
+}
+
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"reusetool/internal/analyzers"
+	"reusetool/internal/analyzers/analysistest"
+)
+
+func TestResourceLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.ResourceLeak, "resourceleak")
+}

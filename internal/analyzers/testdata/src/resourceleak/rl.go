@@ -1,0 +1,113 @@
+// Package resourceleak exercises the resource-leak analyzer.
+package resourceleak
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+func leakGet(url string) error {
+	resp, err := http.Get(url) // want `http.Response body is never closed; defer resp.Body.Close\(\)`
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+
+func leakDiscarded(url string) {
+	http.Get(url) // want `http.Response body is never closed`
+}
+
+func leakBlank(url string) {
+	_, _ = http.Get(url) // want `http.Response body is never closed`
+}
+
+func leakReadNoClose(url string) ([]byte, error) {
+	resp, err := http.Get(url) // want `http.Response body is never closed; defer resp.Body.Close\(\)`
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func okDeferClose(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func okDirectClose(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func okReturned(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+func okEscapesVar(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func consume(resp *http.Response) {}
+
+func okEscapesArg(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	consume(resp)
+	return nil
+}
+
+func leakTicker(done chan struct{}) {
+	t := time.NewTicker(time.Second) // want `time.NewTicker is never stopped; defer t.Stop\(\)`
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+func leakTickerDiscarded() {
+	time.NewTicker(time.Second) // want `time.NewTicker is never stopped`
+}
+
+func okTickerStop(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+type holder struct{ t *time.Ticker }
+
+func okTickerEscapes(h *holder) {
+	t := time.NewTicker(time.Second)
+	h.t = t
+}
+
+func okTickerFromElsewhere(t *time.Ticker) {
+	<-t.C // parameters are not acquisitions
+}

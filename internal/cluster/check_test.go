@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"reusetool/internal/server"
+	"reusetool/pkg/client"
+)
+
+// TestCoordinatorServesCheck: the coordinator mounts the same
+// POST /v1/check surface as its workers and answers synchronously,
+// without scheduling a job or touching the ring.
+func TestCoordinatorServesCheck(t *testing.T) {
+	_, _, cl := newCluster(t, 1, server.Config{}, Config{})
+	resp, err := cl.Check(context.Background(), client.CheckRequest{Workload: "fig1a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program != "fig1a" || resp.Findings == 0 {
+		t.Fatalf("coordinator check = %+v", resp)
+	}
+	var hit bool
+	for _, d := range resp.Diagnostics {
+		if d.Code == "layout-mismatch" && d.Legality == "legal" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("missing legality-checked layout-mismatch: %+v", resp.Diagnostics)
+	}
+}

@@ -181,6 +181,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", c.handleAnalyze)
+	// Checks are stateless and cheap: the coordinator runs them in
+	// place rather than proxying, with the same handler workers mount.
+	mux.HandleFunc("POST /v1/check", server.CheckHandler(cfg.MaxBodyBytes))
 	mux.HandleFunc("GET /v1/jobs", c.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobCancel)

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"reusetool/internal/advise"
@@ -27,6 +28,7 @@ import (
 	"reusetool/internal/interp"
 	"reusetool/internal/ir"
 	"reusetool/internal/metrics"
+	"reusetool/internal/reusecheck"
 	"reusetool/internal/reusedist"
 	"reusetool/internal/staticanalysis"
 	"reusetool/internal/timing"
@@ -98,6 +100,10 @@ type Result struct {
 	// advice and summary writers use it to gate each recommendation on
 	// legality. Nil for trace-only sources (no IR to analyze).
 	Deps *depend.Analysis
+	// Params are the parameter overrides the result was built with,
+	// so the summary's static-opportunity section checks the same
+	// program instance that was measured.
+	Params map[string]int64
 }
 
 // Analyze runs the full pipeline on a program.
@@ -201,6 +207,31 @@ func (r *Result) Advice(level string, minShare float64) []advise.Recommendation 
 	return advise.AdviseWith(r.Report, r.Deps, level, minShare)
 }
 
+// Opportunities runs the static reuse checker over the analyzed program
+// and returns its opportunity diagnostics (hoistable invariant loads,
+// redundant region re-sweeps, layout mismatches) as ranked advice
+// items at one level. params must match the parameter overrides the
+// result was built with; Share is computed against the level's total
+// misses from this result's report.
+func (r *Result) Opportunities(level string, params map[string]int64) []advise.Recommendation {
+	if r.Info == nil {
+		return nil
+	}
+	diags := reusecheck.Check(r.Info, reusecheck.Options{
+		Params:            params,
+		AssumeInitialized: true,
+		Hier:              r.Hier,
+		Level:             level,
+	})
+	total := 0.0
+	if r.Report != nil {
+		if lr := r.Report.Level(level); lr != nil {
+			total = lr.TotalMisses
+		}
+	}
+	return advise.Opportunities(diags, total)
+}
+
 // xmlAdviceShare bounds the recommendations exported to XML to the same
 // default share the CLI uses.
 const xmlAdviceShare = 0.05
@@ -218,7 +249,22 @@ func (r *Result) WriteXML(w io.Writer) error {
 }
 
 // WriteSummary renders the standard text views (scope tree, carried
-// misses, patterns, fragmentation, advice) for one level.
+// misses, patterns, fragmentation, advice) for one level, followed by
+// the static reuse checker's ranked opportunities when it finds any.
 func (r *Result) WriteSummary(w io.Writer, level string, minShare float64) error {
-	return viewer.SummaryWith(w, r.Report, r.Deps, level, minShare)
+	if err := viewer.SummaryWith(w, r.Report, r.Deps, level, minShare); err != nil {
+		return err
+	}
+	recs := r.Opportunities(level, r.Params)
+	if len(recs) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nStatic reuse opportunities (reusecheck, ranked by predicted %s miss reduction):\n", level)
+	for i, rec := range recs {
+		fmt.Fprintf(w, "%2d. [%s, %s] saves ~%.0f misses: %s\n", i+1, rec.Kind, rec.Legality, rec.Misses, rec.Rationale)
+		if rec.LegalityNote != "" {
+			fmt.Fprintf(w, "      legality: %s\n", rec.LegalityNote)
+		}
+	}
+	return nil
 }

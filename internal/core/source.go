@@ -279,7 +279,7 @@ func (p Pipeline) runDynamic(ctx context.Context, s DynamicSource) (*Result, err
 		return nil, fmt.Errorf("core: run: %w", runErr)
 	}
 
-	res := &Result{Info: info, Hier: hier, Run: run, Sim: sim}
+	res := &Result{Info: info, Hier: hier, Run: run, Sim: sim, Params: p.Params}
 	if p.SimulateOnly {
 		return res, nil
 	}
@@ -323,6 +323,7 @@ func (p Pipeline) runStatic(ctx context.Context, s StaticSource) (*Result, error
 		Static:    est.Static,
 		Collector: est.Collector,
 		Deps:      depend.Analyze(info, p.Params),
+		Params:    p.Params,
 	}, nil
 }
 
@@ -358,6 +359,7 @@ func (p Pipeline) runSaved(ctx context.Context, s SavedSource) (*Result, error) 
 		Static:    static,
 		Collector: s.Collector,
 		Deps:      depend.Analyze(info, p.Params),
+		Params:    p.Params,
 	}, nil
 }
 

@@ -1,0 +1,116 @@
+package reusecheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// mutationBase is a clean jki-style nest: A is read with the i loop
+// walking its contiguous first dimension and B is written once per
+// iteration. The checker finds no defects and no opportunities in it
+// (assertClean pins that), so any diagnostic on a mutant is caused by
+// the seeded defect alone.
+const mutationBase = `program mut
+param N 64
+array A f64 [N, N]
+array B f64 [N, N]
+routine main file mut.f line 1 {
+  for j = 0 .. N-1 line 2 {
+    for i = 0 .. N-1 line 3 {
+      access A[i, j]
+      access B[i, j]!
+    }
+  }
+}
+`
+
+func assertClean(t *testing.T, diags []Diagnostic, codes ...string) {
+	t.Helper()
+	for _, code := range codes {
+		if got := find(diags, code); len(got) != 0 {
+			t.Fatalf("base program already has %s diagnostics: %v", code, got)
+		}
+	}
+}
+
+// mutate seeds one defect by textual substitution and returns the
+// diagnostics with the given code.
+func mutate(t *testing.T, old, new, code string) []Diagnostic {
+	t.Helper()
+	src := strings.Replace(mutationBase, old, new, 1)
+	if src == mutationBase {
+		t.Fatalf("mutation %q not applied", new)
+	}
+	base := checkSrc(t, mutationBase)
+	assertClean(t, base, code)
+	return find(checkSrc(t, src), code)
+}
+
+// TestMutationDeadStore seeds a store that is overwritten on the next
+// line before any read and asserts the checker pins it to the seeded
+// file:line.
+func TestMutationDeadStore(t *testing.T) {
+	got := mutate(t,
+		"      access B[i, j]!",
+		"      access B[i, j]!\n      access B[i, j]!",
+		"dead-store")
+	if len(got) != 1 {
+		t.Fatalf("dead-store diagnostics = %d, want 1: %v", len(got), got)
+	}
+	d := got[0]
+	if d.File != "mut.f" || d.Line != 9 {
+		t.Errorf("seeded dead store at mut.f:9, reported at %s:%d", d.File, d.Line)
+	}
+	if !strings.Contains(d.Msg, "B[i,j]=") || !strings.Contains(d.Msg, "overwritten at line 10") {
+		t.Errorf("msg = %q", d.Msg)
+	}
+}
+
+// TestMutationInvariantLoad seeds a load whose address ignores the
+// innermost loop and asserts the hoist opportunity lands on it, ranked
+// and legality-checked.
+func TestMutationInvariantLoad(t *testing.T) {
+	got := mutate(t,
+		"      access A[i, j]",
+		"      access A[i, j]\n      access A[0, j]",
+		"invariant-load")
+	if len(got) != 1 {
+		t.Fatalf("invariant-load diagnostics = %d, want 1: %v", len(got), got)
+	}
+	d := got[0]
+	if d.File != "mut.f" || d.Line != 9 {
+		t.Errorf("seeded invariant load at mut.f:9, reported at %s:%d", d.File, d.Line)
+	}
+	if d.Transform != "hoist" || d.Legality != "legal" {
+		t.Errorf("transform/legality = %q/%q, want hoist/legal", d.Transform, d.Legality)
+	}
+	if !strings.Contains(d.Msg, "invariant in innermost loop i") {
+		t.Errorf("msg = %q", d.Msg)
+	}
+}
+
+// TestMutationTransposedSubscript transposes A's subscripts so the
+// innermost loop strides a full column and asserts the layout-mismatch
+// opportunity names both loops.
+func TestMutationTransposedSubscript(t *testing.T) {
+	got := mutate(t,
+		"access A[i, j]",
+		"access A[j, i]",
+		"layout-mismatch")
+	if len(got) != 1 {
+		t.Fatalf("layout-mismatch diagnostics = %d, want 1: %v", len(got), got)
+	}
+	d := got[0]
+	if d.File != "mut.f" || d.Line != 8 {
+		t.Errorf("seeded transposed subscript at mut.f:8, reported at %s:%d", d.File, d.Line)
+	}
+	if d.Legality != "legal" {
+		t.Errorf("legality = %q, want legal (A is never written)", d.Legality)
+	}
+	if d.MissDelta <= 0 {
+		t.Errorf("miss delta = %v, want > 0", d.MissDelta)
+	}
+	if !strings.Contains(d.Msg, "innermost loop i") || !strings.Contains(d.Msg, "loop j strides") {
+		t.Errorf("msg = %q", d.Msg)
+	}
+}

@@ -1,0 +1,546 @@
+package reusecheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reusetool/internal/ir"
+	"reusetool/internal/trace"
+)
+
+// refFact is the walker's view of one reference site: its loop nest
+// outermost first, its subscripts with Let bindings substituted, and
+// the reachability/guard context it executes under.
+type refFact struct {
+	ref      *ir.Ref
+	routine  *ir.Routine
+	nest     []*ir.Loop // outermost first
+	subs     []ir.Expr  // Let-substituted subscripts
+	guarded  bool       // under an If: may not execute
+	dead     bool       // inside provably unreachable code
+	inBounds bool       // every subscript provably within the extent
+}
+
+// loopFact caches per-loop interval facts.
+type loopFact struct {
+	rng    Ival // value range of the loop variable
+	empty  bool // provably zero-trip
+	trips2 bool // provably two or more iterations
+}
+
+// walker performs one abstract-interpretation pass over the structured
+// IR. It carries two environments in parallel: an interval environment
+// (the abstract value of every parameter, loop variable, and Let
+// binding) and an exact substitution environment for symbolic region
+// keys, maintained exactly as internal/depend does. Loop bodies widen
+// by havoc: any Let target bound inside a loop body jumps to top at
+// loop entry, which is the one-step widening that makes the pass a
+// fixpoint in a single sweep.
+type walker struct {
+	info   *ir.Info
+	params map[string]int64
+	fileOf func(*ir.Routine) string
+
+	facts []*refFact // indexed by trace.RefID
+	loops map[*ir.Loop]loopFact
+	diags []Diagnostic
+}
+
+func newWalker(info *ir.Info, params map[string]int64, fileOf func(*ir.Routine) string) *walker {
+	return &walker{
+		info:   info,
+		params: params,
+		fileOf: fileOf,
+		facts:  make([]*refFact, len(info.Refs)),
+		loops:  map[*ir.Loop]loopFact{},
+	}
+}
+
+func (w *walker) run() {
+	for _, rt := range w.info.Prog.Routines {
+		env := make(map[string]Ival, len(w.params))
+		for name, v := range w.params {
+			env[name] = point(v)
+		}
+		pend := newPending()
+		w.walkBody(rt, rt.Body, nil, env, map[string]ir.Expr{}, false, false, pend)
+	}
+}
+
+// pendingStore is a store whose value has not yet been observed.
+type pendingStore struct {
+	ref  *ir.Ref
+	subs []ir.Expr
+}
+
+// pending tracks unobserved stores per array within one straight-line
+// body. Each loop body and If branch gets a fresh instance, so every
+// store in one instance shares the same guard context by construction.
+type pending struct {
+	byArray map[*ir.Array]map[string]*pendingStore
+}
+
+func newPending() *pending {
+	return &pending{byArray: map[*ir.Array]map[string]*pendingStore{}}
+}
+
+func (p *pending) put(arr *ir.Array, key string, ps *pendingStore) {
+	m := p.byArray[arr]
+	if m == nil {
+		m = map[string]*pendingStore{}
+		p.byArray[arr] = m
+	}
+	m[key] = ps
+}
+
+func (p *pending) get(arr *ir.Array, key string) *pendingStore {
+	return p.byArray[arr][key]
+}
+
+// killArray drops all pending stores to one array (it was read).
+func (p *pending) killArray(arr *ir.Array) { delete(p.byArray, arr) }
+
+// killAll drops everything (an opaque call may read anything).
+func (p *pending) killAll() { p.byArray = map[*ir.Array]map[string]*pendingStore{} }
+
+// regionKey renders substituted subscripts as the canonical identity of
+// the written region within one body.
+func regionKey(subs []ir.Expr) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (w *walker) walkBody(rt *ir.Routine, body []ir.Stmt, nest []*ir.Loop,
+	env map[string]Ival, sub map[string]ir.Expr, guarded, dead bool, pend *pending) {
+
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Let:
+			w.killExprReads(pend, st.E)
+			env[st.Var.Name] = evalIval(st.E, env)
+			e := substExpr(st.E, sub)
+			if mentionsVar(e, st.Var.Name) {
+				delete(sub, st.Var.Name)
+			} else {
+				sub[st.Var.Name] = e
+			}
+
+		case *ir.Loop:
+			w.killExprReads(pend, st.Lo)
+			w.killExprReads(pend, st.Hi)
+			w.walkLoop(rt, st, nest, env, sub, guarded, dead, pend)
+
+		case *ir.If:
+			w.killExprReads(pend, st.Cond.L)
+			w.killExprReads(pend, st.Cond.R)
+			l := evalIval(st.Cond.L, env)
+			r := evalIval(st.Cond.R, env)
+			verdict := condDecide(st.Cond.Op, l, r)
+			if verdict != 0 && !dead {
+				w.reportDeadGuard(rt, st, verdict)
+			}
+			thenEnv := copyEnv(refine(env, st.Cond, false))
+			elseEnv := copyEnv(refine(env, st.Cond, true))
+			w.walkBody(rt, st.Then, nest, thenEnv, copySub(sub), true, dead || verdict < 0, newPending())
+			w.walkBody(rt, st.Else, nest, elseEnv, copySub(sub), true, dead || verdict > 0, newPending())
+			for arr := range bodyReads(st.Then) {
+				pend.killArray(arr)
+			}
+			for arr := range bodyReads(st.Else) {
+				pend.killArray(arr)
+			}
+
+		case *ir.Access:
+			for _, ref := range st.Refs {
+				for _, idx := range ref.Index {
+					w.killExprReads(pend, idx)
+				}
+				w.recordRef(rt, ref, nest, env, sub, guarded, dead)
+				if ref.Write {
+					if !dead {
+						subs := w.facts[ref.ID()].subs
+						key := regionKey(subs)
+						if prev := pend.get(ref.Array, key); prev != nil {
+							w.reportDeadStore(rt, prev.ref, ref)
+						}
+						pend.put(ref.Array, key, &pendingStore{ref: ref, subs: subs})
+					}
+				} else {
+					pend.killArray(ref.Array)
+				}
+			}
+
+		case *ir.Call:
+			pend.killAll()
+		}
+	}
+}
+
+func (w *walker) walkLoop(rt *ir.Routine, l *ir.Loop, nest []*ir.Loop,
+	env map[string]Ival, sub map[string]ir.Expr, guarded, dead bool, pend *pending) {
+
+	step := int64(l.Step.(ir.Const))
+	ivLo := evalIval(l.Lo, env)
+	ivHi := evalIval(l.Hi, env)
+
+	var rng Ival
+	var empty, trips2 bool
+	if step > 0 {
+		rng = Ival{Lo: ivLo.Lo, LoOK: ivLo.LoOK, Hi: ivHi.Hi, HiOK: ivHi.HiOK}
+		empty = ivLo.LoOK && ivHi.HiOK && ivLo.Lo > ivHi.Hi
+		trips2 = ivLo.HiOK && ivHi.LoOK && ivHi.Lo >= ivLo.Hi+step
+	} else {
+		rng = Ival{Lo: ivHi.Lo, LoOK: ivHi.LoOK, Hi: ivLo.Hi, HiOK: ivLo.HiOK}
+		empty = ivLo.HiOK && ivHi.LoOK && ivLo.Hi < ivHi.Lo
+		trips2 = ivLo.LoOK && ivHi.HiOK && ivHi.Hi <= ivLo.Lo+step
+	}
+	w.loops[l] = loopFact{rng: rng, empty: empty, trips2: trips2}
+
+	// Widen by havoc: Let targets the body rebinds are unknown at entry
+	// to any iteration after the first.
+	inner := copyEnv(env)
+	for name := range letTargets(l.Body) {
+		inner[name] = top()
+	}
+	inner[l.Var.Name] = rng
+
+	innerSub := copySub(sub)
+	delete(innerSub, l.Var.Name)
+	for name := range letTargets(l.Body) {
+		delete(innerSub, name)
+	}
+
+	bodyPend := newPending()
+	w.walkBody(rt, l.Body, append(nest, l), inner, innerSub, guarded, dead || empty, bodyPend)
+
+	// Cross-iteration dead stores: a store that survives the body with a
+	// location independent of the loop variable is overwritten by the
+	// next iteration — dead unless something inside the body reads the
+	// array (reads before the store observe the previous iteration).
+	if !dead && !empty && trips2 {
+		reads := bodyReads(l.Body)
+		var dying []*pendingStore
+		for arr, m := range bodyPend.byArray {
+			if reads[arr] {
+				continue
+			}
+			for _, ps := range m {
+				if subsInvariant(ps.subs, l.Var.Name) {
+					dying = append(dying, ps)
+				}
+			}
+		}
+		sort.Slice(dying, func(i, j int) bool { return dying[i].ref.ID() < dying[j].ref.ID() })
+		for _, ps := range dying {
+			w.diags = append(w.diags, Diagnostic{
+				File:     w.fileOf(rt),
+				Line:     ps.ref.Line,
+				Code:     "dead-store",
+				Severity: SevDefect,
+				Msg: fmt.Sprintf("store %s does not depend on loop %s and is overwritten by the next iteration before any read",
+					ps.ref.Name(), l.Var.Name),
+				Hint: fmt.Sprintf("move the store out of the %s loop", l.Var.Name),
+			})
+		}
+	}
+
+	for arr := range bodyReads(l.Body) {
+		pend.killArray(arr)
+	}
+}
+
+// recordRef registers a reference fact and decides bounds provability.
+func (w *walker) recordRef(rt *ir.Routine, ref *ir.Ref, nest []*ir.Loop,
+	env map[string]Ival, sub map[string]ir.Expr, guarded, dead bool) {
+
+	subs := make([]ir.Expr, len(ref.Index))
+	for i, idx := range ref.Index {
+		subs[i] = substExpr(idx, sub)
+	}
+	fact := &refFact{
+		ref:     ref,
+		routine: rt,
+		nest:    append([]*ir.Loop(nil), nest...),
+		subs:    subs,
+		guarded: guarded,
+		dead:    dead,
+	}
+	if len(ref.Index) > 0 {
+		fact.inBounds = true
+		for d, idx := range ref.Index {
+			iv := evalIval(idx, env)
+			ext, ok := evalIval(ref.Array.Dims[d], envOfParams(w.params)).Const()
+			if !ok || !iv.Bounded() || iv.Lo < 0 || iv.Hi > ext-1 {
+				fact.inBounds = false
+				break
+			}
+		}
+	}
+	w.facts[ref.ID()] = fact
+}
+
+func (w *walker) reportDeadStore(rt *ir.Routine, prev, next *ir.Ref) {
+	w.diags = append(w.diags, Diagnostic{
+		File:     w.fileOf(rt),
+		Line:     prev.Line,
+		Code:     "dead-store",
+		Severity: SevDefect,
+		Msg: fmt.Sprintf("store %s is overwritten at line %d before any read",
+			prev.Name(), next.Line),
+		Hint: "delete the first store or use its value",
+	})
+}
+
+func (w *walker) reportDeadGuard(rt *ir.Routine, st *ir.If, verdict int) {
+	line := condLine(st)
+	var msg, hint string
+	if verdict > 0 {
+		if len(st.Else) > 0 {
+			msg = fmt.Sprintf("condition %s always holds; the else branch never executes", st.Cond)
+			hint = "delete the else branch"
+		} else {
+			msg = fmt.Sprintf("condition %s always holds; the guard is redundant", st.Cond)
+			hint = "remove the guard"
+		}
+	} else {
+		msg = fmt.Sprintf("condition %s never holds; the guarded block never executes", st.Cond)
+		hint = "delete the dead branch or fix the condition"
+	}
+	w.diags = append(w.diags, Diagnostic{
+		File:     w.fileOf(rt),
+		Line:     line,
+		Code:     "dead-guard",
+		Severity: SevDefect,
+		Msg:      msg,
+		Hint:     hint,
+	})
+}
+
+// condLine finds a source position for an If, which carries none
+// itself: the first positioned expression in the condition, else the
+// first positioned statement of either branch.
+func condLine(st *ir.If) int {
+	line := 0
+	probe := func(e ir.Expr) {
+		ir.WalkExpr(e, func(x ir.Expr) {
+			if line != 0 {
+				return
+			}
+			switch n := x.(type) {
+			case *ir.Bin:
+				if n.Line != 0 {
+					line = n.Line
+				}
+			case *ir.Load:
+				if n.Line != 0 {
+					line = n.Line
+				}
+			}
+		})
+	}
+	probe(st.Cond.L)
+	probe(st.Cond.R)
+	if line == 0 {
+		line = firstLine(st.Then)
+	}
+	if line == 0 {
+		line = firstLine(st.Else)
+	}
+	return line
+}
+
+func firstLine(body []ir.Stmt) int {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Loop:
+			if st.Line != 0 {
+				return st.Line
+			}
+			if l := firstLine(st.Body); l != 0 {
+				return l
+			}
+		case *ir.Let:
+			if st.Line != 0 {
+				return st.Line
+			}
+		case *ir.If:
+			if l := condLine(st); l != 0 {
+				return l
+			}
+		case *ir.Access:
+			for _, r := range st.Refs {
+				if r.Line != 0 {
+					return r.Line
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// killExprReads drops pending stores to every array an expression reads
+// through an indirection.
+func (w *walker) killExprReads(pend *pending, e ir.Expr) {
+	ir.WalkExpr(e, func(x ir.Expr) {
+		if ld, ok := x.(*ir.Load); ok {
+			pend.killArray(ld.Array)
+		}
+	})
+}
+
+// bodyReads collects every array a body may read: read references and
+// Load indirections anywhere inside, including guarded code and nested
+// loops.
+func bodyReads(body []ir.Stmt) map[*ir.Array]bool {
+	out := map[*ir.Array]bool{}
+	var collectExpr func(e ir.Expr)
+	collectExpr = func(e ir.Expr) {
+		ir.WalkExpr(e, func(x ir.Expr) {
+			if ld, ok := x.(*ir.Load); ok {
+				out[ld.Array] = true
+			}
+		})
+	}
+	var walk func(body []ir.Stmt)
+	walk = func(body []ir.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ir.Loop:
+				collectExpr(st.Lo)
+				collectExpr(st.Hi)
+				walk(st.Body)
+			case *ir.Let:
+				collectExpr(st.E)
+			case *ir.If:
+				collectExpr(st.Cond.L)
+				collectExpr(st.Cond.R)
+				walk(st.Then)
+				walk(st.Else)
+			case *ir.Access:
+				for _, r := range st.Refs {
+					for _, idx := range r.Index {
+						collectExpr(idx)
+					}
+					if !r.Write {
+						out[r.Array] = true
+					}
+				}
+			case *ir.Call:
+				if st.Callee != nil {
+					walk(st.Callee.Body)
+				}
+			}
+		}
+	}
+	walk(body)
+	return out
+}
+
+// letTargets collects the names a body's Let statements bind, at any
+// nesting depth.
+func letTargets(body []ir.Stmt) map[string]bool {
+	out := map[string]bool{}
+	var walk func(body []ir.Stmt)
+	walk = func(body []ir.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ir.Let:
+				out[st.Var.Name] = true
+			case *ir.Loop:
+				walk(st.Body)
+			case *ir.If:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(body)
+	return out
+}
+
+// subsInvariant reports whether no subscript mentions a variable.
+func subsInvariant(subs []ir.Expr, name string) bool {
+	for _, s := range subs {
+		if mentionsVar(s, name) {
+			return false
+		}
+	}
+	return true
+}
+
+func mentionsVar(e ir.Expr, name string) bool {
+	found := false
+	ir.WalkExpr(e, func(x ir.Expr) {
+		if v, ok := x.(*ir.Var); ok && v.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+// substExpr substitutes Let bindings into an expression, mirroring the
+// dependence analyzer's environment semantics.
+func substExpr(e ir.Expr, env map[string]ir.Expr) ir.Expr {
+	if len(env) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case *ir.Var:
+		if b, ok := env[x.Name]; ok {
+			return b
+		}
+		return x
+	case *ir.Bin:
+		l := substExpr(x.L, env)
+		r := substExpr(x.R, env)
+		if l == x.L && r == x.R {
+			return x
+		}
+		return &ir.Bin{Op: x.Op, L: l, R: r, Line: x.Line}
+	case *ir.Load:
+		idx := make([]ir.Expr, len(x.Index))
+		changed := false
+		for i, s := range x.Index {
+			idx[i] = substExpr(s, env)
+			if idx[i] != s {
+				changed = true
+			}
+		}
+		if !changed {
+			return x
+		}
+		return &ir.Load{Array: x.Array, Index: idx, Line: x.Line}
+	}
+	return e
+}
+
+func copyEnv(env map[string]Ival) map[string]Ival {
+	out := make(map[string]Ival, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func copySub(sub map[string]ir.Expr) map[string]ir.Expr {
+	out := make(map[string]ir.Expr, len(sub))
+	for k, v := range sub {
+		out[k] = v
+	}
+	return out
+}
+
+func envOfParams(params map[string]int64) map[string]Ival {
+	out := make(map[string]Ival, len(params))
+	for k, v := range params {
+		out[k] = point(v)
+	}
+	return out
+}
+
+// factByID is a typed accessor for detectors.
+func (w *walker) factByID(id trace.RefID) *refFact { return w.facts[id] }

@@ -1,0 +1,324 @@
+package reusecheck
+
+import (
+	"strings"
+	"testing"
+
+	"reusetool/internal/ir"
+	"reusetool/internal/lang"
+)
+
+// checkSrc parses .loop source and runs the full checker with the
+// uninitialized-data check suppressed (these fixtures declare no init).
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	prog, _, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := prog.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Check(info, Options{AssumeInitialized: true})
+}
+
+// find returns the diagnostics with one code.
+func find(diags []Diagnostic, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestDeadStoreSameIteration(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    access A[i]!
+    access A[i]!
+  }
+}
+`)
+	ds := find(diags, "dead-store")
+	if len(ds) != 1 {
+		t.Fatalf("dead-store diagnostics = %d, want 1\n%v", len(ds), diags)
+	}
+	d := ds[0]
+	if d.Line != 6 {
+		t.Errorf("dead store reported at line %d, want 6 (the first store)", d.Line)
+	}
+	if !strings.Contains(d.Msg, "overwritten at line 7") {
+		t.Errorf("msg = %q, want the killing store's line", d.Msg)
+	}
+	if d.Severity != SevDefect || d.Hint == "" {
+		t.Errorf("dead store severity/hint: %+v", d)
+	}
+}
+
+func TestDeadStoreKilledByRead(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    access A[i]!
+    access A[i]
+    access A[i]!
+  }
+}
+`)
+	if ds := find(diags, "dead-store"); len(ds) != 0 {
+		t.Errorf("read between stores must kill the pending store: %v", ds)
+	}
+}
+
+func TestDeadStoreGuardedStoresSeparate(t *testing.T) {
+	// The branch store and the fall-through store run under different
+	// guard contexts: neither may be reported dead.
+	diags := checkSrc(t, `program p
+param N 8
+param M 4
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    if i < M {
+      access A[i]!
+    }
+    access A[i]!
+  }
+}
+`)
+	if ds := find(diags, "dead-store"); len(ds) != 0 {
+		t.Errorf("guarded store wrongly reported dead: %v", ds)
+	}
+}
+
+func TestDeadStoreCrossIteration(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for t = 0 .. 9 line 2 {
+    access A[0]!
+  }
+}
+`)
+	ds := find(diags, "dead-store")
+	if len(ds) != 1 {
+		t.Fatalf("cross-iteration dead store missing:\n%v", diags)
+	}
+	if !strings.Contains(ds[0].Msg, "does not depend on loop t") {
+		t.Errorf("msg = %q", ds[0].Msg)
+	}
+	if ds[0].Line != 6 {
+		t.Errorf("line = %d, want 6", ds[0].Line)
+	}
+}
+
+func TestDeadStoreCrossIterationNeedsTwoTrips(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for t = 0 .. 0 line 2 {
+    access A[0]!
+  }
+}
+`)
+	if ds := find(diags, "dead-store"); len(ds) != 0 {
+		t.Errorf("one-trip loop cannot overwrite: %v", ds)
+	}
+}
+
+func TestDeadGuard(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    if i < N {
+      access A[i]
+    }
+  }
+}
+`)
+	dg := find(diags, "dead-guard")
+	if len(dg) != 1 {
+		t.Fatalf("dead-guard diagnostics = %d, want 1\n%v", len(dg), diags)
+	}
+	if !strings.Contains(dg[0].Msg, "always holds") {
+		t.Errorf("msg = %q", dg[0].Msg)
+	}
+}
+
+func TestDeadGuardNeverHolds(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    if i > N {
+      access A[0]
+    }
+    access A[i]
+  }
+}
+`)
+	dg := find(diags, "dead-guard")
+	if len(dg) != 1 {
+		t.Fatalf("dead-guard diagnostics = %d, want 1\n%v", len(dg), diags)
+	}
+	if !strings.Contains(dg[0].Msg, "never holds") {
+		t.Errorf("msg = %q", dg[0].Msg)
+	}
+}
+
+func TestUndecidableGuardNotFlagged(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+param M 4
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    if i < M {
+      access A[i]
+    }
+    access A[i]
+  }
+}
+`)
+	if dg := find(diags, "dead-guard"); len(dg) != 0 {
+		t.Errorf("undecidable guard flagged: %v", dg)
+	}
+}
+
+func TestBoundsProvedNote(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 8
+array A f64 [N]
+routine main file p.f line 1 {
+  for i = 0 .. N-1 line 2 {
+    access A[i]
+  }
+}
+`)
+	notes := find(diags, "bounds-proved")
+	if len(notes) != 1 {
+		t.Fatalf("bounds-proved notes = %d, want 1\n%v", len(notes), diags)
+	}
+	if notes[0].Severity != SevNote {
+		t.Errorf("severity = %v, want note", notes[0].Severity)
+	}
+	if Findings(diags) != 0 {
+		t.Errorf("notes must not count as findings: %d", Findings(diags))
+	}
+}
+
+func TestSortDedupAndOrder(t *testing.T) {
+	d1 := Diagnostic{File: "b.f", Line: 2, Code: "x", Msg: "m"}
+	d2 := Diagnostic{File: "a.f", Line: 9, Code: "x", Msg: "m"}
+	d3 := Diagnostic{File: "a.f", Line: 9, Code: "x", Msg: "m"} // dup of d2
+	d4 := Diagnostic{File: "a.f", Line: 1, Code: "z", Msg: "m"}
+	got := Sort([]Diagnostic{d1, d2, d3, d4})
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d, want 3", len(got))
+	}
+	if got[0] != d4 || got[1] != d2 || got[2] != d1 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestCheckIsDeterministic(t *testing.T) {
+	src := `program p
+param N 32
+array A f64 [N, N]
+array B f64 [N, N]
+routine main file p.f line 1 {
+  for j = 0 .. N-1 line 2 {
+    for i = 0 .. N-1 line 3 {
+      access A[j, i], B[0, j], B[i, j]!
+    }
+  }
+}
+`
+	first := checkSrc(t, src)
+	for round := 0; round < 3; round++ {
+		again := checkSrc(t, src)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d diagnostics, first run had %d", round, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: diagnostic %d drifted:\n%v\n%v", round, i, first[i], again[i])
+			}
+		}
+	}
+}
+
+// TestOpportunityFieldsPopulated: every opportunity carries the ranked
+// suffix the issue requires — a miss prediction level, a transform,
+// and a legality verdict.
+func TestOpportunityFieldsPopulated(t *testing.T) {
+	diags := checkSrc(t, `program p
+param N 64
+array A f64 [N, N]
+array B f64 [N, N]
+routine main file p.f line 1 {
+  for j = 0 .. N-1 line 2 {
+    for i = 0 .. N-1 line 3 {
+      access A[j, i], B[0, j], B[i, j]!
+    }
+  }
+}
+`)
+	var opps int
+	for _, d := range diags {
+		if d.Severity != SevOpportunity {
+			continue
+		}
+		opps++
+		if d.Level == "" || d.Transform == "" || d.Legality == "" {
+			t.Errorf("%s at %s:%d missing ranking fields: %+v", d.Code, d.File, d.Line, d)
+		}
+	}
+	if opps == 0 {
+		t.Fatalf("fixture produced no opportunities:\n%v", diags)
+	}
+}
+
+// TestCallKillsPending: an opaque call may read anything, so stores
+// across it are not dead.
+func TestCallKillsPending(t *testing.T) {
+	prog := ir.NewProgram("p")
+	n := prog.Param("N", 8)
+	a := prog.AddArray("A", 8, n)
+	i := prog.Var("i")
+	sub := prog.AddRoutine("sub", "p.f", 20)
+	sub.Body = []ir.Stmt{ir.Do(a.Read(ir.C(0)))}
+	main := prog.AddRoutine("main", "p.f", 1)
+	w1 := a.WriteRef(i)
+	w1.Line = 3
+	w2 := a.WriteRef(i)
+	w2.Line = 5
+	main.Body = []ir.Stmt{
+		ir.For(i, ir.C(0), ir.Sub(n, ir.C(1)),
+			ir.Do(w1),
+			&ir.Call{Callee: sub},
+			ir.Do(w2),
+		).At(2),
+	}
+	info, err := prog.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(info, Options{AssumeInitialized: true})
+	if ds := find(diags, "dead-store"); len(ds) != 0 {
+		t.Errorf("store across opaque call reported dead: %v", ds)
+	}
+}

@@ -86,7 +86,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c.Put(e1)
 	c.Put(e2)
 	c.Get(t.Context(), key(1)) // promote 1; 2 becomes LRU
-	c.Put(e3)     // evicts 2
+	c.Put(e3)                  // evicts 2
 	if _, ok := c.Get(t.Context(), key(2)); ok {
 		t.Fatal("LRU entry not evicted")
 	}

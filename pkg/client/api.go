@@ -39,6 +39,63 @@ type AnalyzeRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// CheckRequest is the POST /v1/check body: run the static reuse
+// checker (internal/reusecheck) over one program. Exactly one of
+// Workload or Program must be set. Checks run synchronously — no job
+// is scheduled and no cache entry is written — so the response carries
+// the diagnostics directly.
+type CheckRequest struct {
+	// Workload names a built-in workload (see workloads.Names).
+	Workload string `json:"workload,omitempty"`
+	// Program is inline .loop source (see internal/lang).
+	Program string `json:"program,omitempty"`
+	// Params override program parameter defaults.
+	Params map[string]int64 `json:"params,omitempty"`
+	// Hierarchy selects the machine miss deltas are predicted on:
+	// "scaled" (default), "full", or "opteron".
+	Hierarchy string `json:"hierarchy,omitempty"`
+	// Level is the hierarchy level miss deltas are reported at
+	// (default "L2").
+	Level string `json:"level,omitempty"`
+}
+
+// CheckDiagnostic is one finding in a CheckResponse. It mirrors
+// reusecheck.Diagnostic field for field (same JSON tags), so the CLI's
+// -check -json output and the service speak the same schema.
+type CheckDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Code string `json:"code"`
+	// Severity is "defect", "opportunity" or "note".
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+	// Hint is a fix-it suggestion.
+	Hint string `json:"hint,omitempty"`
+	// MissDelta is the predicted miss reduction at Level (opportunities).
+	MissDelta float64 `json:"miss_delta,omitempty"`
+	Level     string  `json:"level,omitempty"`
+	// Transform names the fixing transformation ("hoist",
+	// "interchange", "time-skew").
+	Transform string `json:"transform,omitempty"`
+	// Legality is the dependence verdict on Transform: "legal",
+	// "illegal" or "unknown".
+	Legality     string `json:"legality,omitempty"`
+	LegalityNote string `json:"legality_note,omitempty"`
+}
+
+// CheckResponse is the POST /v1/check response: the deduplicated,
+// file:line:code-sorted diagnostics and the finding count (defects and
+// opportunities; notes are informational only).
+type CheckResponse struct {
+	APIVersion string `json:"api_version"`
+	// Program is the checked program's name.
+	Program string `json:"program"`
+	// Findings counts non-note diagnostics — the same quantity that
+	// drives the CLI checker's exit code.
+	Findings    int               `json:"findings"`
+	Diagnostics []CheckDiagnostic `json:"diagnostics"`
+}
+
 // JobStatus is the lifecycle state of a scheduled analysis.
 type JobStatus string
 

@@ -106,6 +106,25 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*Job, error) 
 	return &job, nil
 }
 
+// Check runs the static reuse checker on a program and returns its
+// diagnostics. Checks are synchronous — there is no job to poll — and
+// temporary rejections (draining, coordinator upstream failures) are
+// retried with jittered backoff.
+func (c *Client) Check(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp CheckResponse
+	err = c.withRetry(ctx, retryTemporary, func() error {
+		return c.do(ctx, http.MethodPost, "/v1/check", payload, &resp)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("check at %s: %w", c.base, err)
+	}
+	return &resp, nil
+}
+
 // Job fetches the current state of a job by ID.
 func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	var job Job
