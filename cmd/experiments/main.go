@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig5, table2, fig8, fig9, fig10, fig11, predict, static")
+		exp     = flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig5, table2, fig8, fig9, fig10, fig11, predict, static, hotpath, sampling")
 		mesh    = flag.Int64("mesh", 12, "Sweep3D mesh size for fig5/table2")
 		meshes  = flag.String("meshes", "6,8,10,12,16,20", "comma-separated mesh sizes for fig8")
 		grid    = flag.Int64("grid", 2048, "GTC grid size")
@@ -43,6 +43,13 @@ func main() {
 		hotOut      = flag.String("hotpath-out", "", "write hotpath suite results as JSON to this file")
 		hotBaseline = flag.String("hotpath-baseline", "", "previously written hotpath JSON to compute speedups against")
 		hotRepeat   = flag.Int("hotpath-repeat", 3, "replay repetitions per hotpath workload (fastest wins)")
+
+		sampOut    = flag.String("sampling-out", "", "write sampling suite results as JSON to this file")
+		sampNames  = flag.String("sampling-workloads", "", "comma-separated workloads for the sampling suite (default: all built-ins)")
+		sampRates  = flag.String("sampling-rates", "1,8,64", "comma-separated sampling rates to compare against exact")
+		sampRepeat = flag.Int("sampling-repeat", 3, "replay repetitions per sampling point (fastest wins)")
+		sampDemo   = flag.Uint64("sampling-demo-accesses", 0, "also stream this many synthetic accesses through the adaptive bounded-memory demo (0 = skip; the ISSUE configuration is 1000000000)")
+		sampDemoB  = flag.Int("sampling-demo-max-blocks", 1<<16, "adaptive tracked-block cap per engine for the demo")
 	)
 	flag.Parse()
 	experiments.SetJobs(*jobs)
@@ -75,6 +82,22 @@ func main() {
 	run("predict", func() error { return runPredict(hier) })
 	run("static", runStatic)
 	run("hotpath", func() error { return runHotpath(hier, *hotRepeat, *hotOut, *hotBaseline) })
+	run("sampling", func() error {
+		var rates []uint64
+		for _, v := range parseInts(*sampRates) {
+			rates = append(rates, uint64(v))
+		}
+		names := experiments.SamplingWorkloads()
+		if *sampNames != "" {
+			names = nil
+			for _, n := range strings.Split(*sampNames, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		return runSampling(names, hier, rates, *sampRepeat, *sampOut, *sampDemo, *sampDemoB)
+	})
 }
 
 func runStatic() error {

@@ -10,6 +10,7 @@
 //	          [-save data.rd | -load data.rd]
 //	          [-dump-trace run.trace | -from-trace run.trace]
 //	          [-static | -static-validate]
+//	          [-sample-rate 64] [-sample-max-blocks 1000000] [-sample-seed 7]
 //	          [-timeout 30s]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	reusetool -check prog.loop [more.loop ...]
@@ -75,6 +76,18 @@
 // consumers on dedicated goroutines (one per reuse-distance granularity,
 // plus the simulator and trace recorder); results are bit-identical to
 // -parallel=false, which keeps the sequential reference path.
+//
+// -sample-rate R enables SHARDS-style spatial sampling: roughly 1 in R
+// memory blocks is analyzed and every reported count is a scaled
+// estimate, cutting memory and per-access time by ~R on big traces.
+// -sample-max-blocks additionally bounds the tracked blocks per engine,
+// raising the rate adaptively as the cap fills so memory stays constant
+// for arbitrarily long runs. Sampled reports end with a footer stating
+// the effective rate, the admitted block count and an estimated relative
+// error per granularity; -sample-rate 1 is bit-identical to an exact
+// run. Sampling applies to the dynamic, -from-trace and -remote modes;
+// it cannot be combined with -static, -static-validate, -load, or
+// -check.
 package main
 
 import (
@@ -99,6 +112,7 @@ import (
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
 	"reusetool/internal/reusecheck"
+	"reusetool/internal/sampling"
 	"reusetool/internal/trace"
 	"reusetool/internal/tracefile"
 	"reusetool/internal/viewer"
@@ -154,18 +168,18 @@ var modeTable = []struct {
 	},
 	{
 		selector: "static", mode: modeStatic,
-		rejects: []string{"save", "dump-trace", "cct", "json", "notes"},
-		reason:  "they require executing the workload or apply to -check only",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
+		reason:  "they require executing the workload or apply to -check only; the symbolic prediction cannot sample",
 	},
 	{
 		selector: "static-validate", mode: modeValidate,
-		rejects: []string{"save", "dump-trace", "cct", "xml", "compare", "json", "notes"},
-		reason:  "the validation table is the only output of this mode",
+		rejects: []string{"save", "dump-trace", "cct", "xml", "compare", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
+		reason:  "the validation table is the only output of this mode, and the static side cannot sample",
 	},
 	{
 		selector: "load", mode: modeSaved,
-		rejects: []string{"save", "dump-trace", "cct", "json", "notes"},
-		reason:  "they require executing the workload, which -load skips, or apply to -check only",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
+		reason:  "they require executing the workload, which -load skips, or apply to -check only; saved data keeps its collection-time sampling",
 	},
 	{
 		selector: "from-trace", mode: modeTrace,
@@ -174,12 +188,12 @@ var modeTable = []struct {
 	},
 	{
 		selector: "dump-program", mode: modeDumpProgram,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
 		reason:  "no analysis runs in this mode",
 	},
 	{
 		selector: "check", mode: modeCheck,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "sample-rate", "sample-max-blocks", "sample-seed"},
 		reason:  "the checker runs no analysis",
 	},
 	{
@@ -257,6 +271,11 @@ func run() int {
 		timeout   = flag.Duration("timeout", 0, "abandon the analysis after this long (exit status 3); 0 means no deadline")
 	)
 	var (
+		sampleRate   = flag.Uint64("sample-rate", 0, "SHARDS spatial sampling rate R (power of two): admit ~1 in R memory blocks and report scaled estimates; 0 or 1 analyzes exactly")
+		sampleBlocks = flag.Int("sample-max-blocks", 0, "bound tracked blocks per engine: the sampling rate adapts upward as the cap fills, so memory stays constant for any trace (0 = no cap)")
+		sampleSeed   = flag.Uint64("sample-seed", 0, "sampling admission-hash seed (0 = the fixed default; same seed, same admitted blocks)")
+	)
+	var (
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -307,6 +326,12 @@ func run() int {
 		return 2
 	}
 
+	sampleCfg := sampling.Config{Rate: *sampleRate, MaxBlocks: *sampleBlocks, Seed: *sampleSeed}
+	if err := sampleCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
 	if mode == modeCheck {
 		hier := cache.ScaledItanium2()
 		if *full {
@@ -337,11 +362,14 @@ func run() int {
 
 	if mode == modeRemote {
 		req := client.AnalyzeRequest{
-			Workload:  *workload,
-			Params:    params,
-			Level:     *level,
-			MinShare:  *share,
-			TimeoutMS: timeout.Milliseconds(),
+			Workload:        *workload,
+			Params:          params,
+			Level:           *level,
+			MinShare:        *share,
+			TimeoutMS:       timeout.Milliseconds(),
+			SampleRate:      *sampleRate,
+			SampleMaxBlocks: *sampleBlocks,
+			SampleSeed:      *sampleSeed,
 		}
 		if *full {
 			req.Hierarchy = "full"
@@ -371,7 +399,7 @@ func run() int {
 	if *full {
 		hier = cache.Itanium2()
 	}
-	opts := core.Options{Hierarchy: hier, Params: params, Parallel: *parallel}
+	opts := core.Options{Hierarchy: hier, Params: params, Parallel: *parallel, Sampling: sampleCfg}
 
 	if mode == modeTrace {
 		if err := analyzeTraceFile(ctx, *fromTrace, *level, *share, *xmlOut, opts); err != nil {

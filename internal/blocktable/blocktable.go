@@ -5,7 +5,11 @@
 // reuse arcs can be attributed to (source scope, destination scope) pairs.
 package blocktable
 
-import "reusetool/internal/trace"
+import (
+	"math/bits"
+
+	"reusetool/internal/trace"
+)
 
 // Entry records the most recent access to one memory block.
 type Entry struct {
@@ -129,6 +133,42 @@ func (r *Radix) LookupStore(block uint64, e Entry) (Entry, bool) {
 
 // Blocks implements Table.
 func (r *Radix) Blocks() int { return r.blocks }
+
+// Evict removes every present entry for which drop returns true and
+// reports how many were removed. The sampled reuse-distance engine uses
+// it when the adaptive sampler halves its admission threshold: blocks
+// whose hash no longer passes leave the table (and the caller removes
+// their timestamps from the order-statistic tree). Iteration order is
+// unspecified — drop must decide from (block, entry) alone — but the
+// resulting table state is the same for any order: evicting a set of
+// blocks is order-independent.
+func (r *Radix) Evict(drop func(block uint64, e Entry) bool) int {
+	evicted := 0
+	for topIdx, m := range r.top {
+		for midIdx, lf := range m.leaves {
+			if lf == nil {
+				continue
+			}
+			hi := topIdx<<midBits | uint64(midIdx)
+			for word, bitsWord := range lf.present {
+				for bitsWord != 0 {
+					bit := uint(bits.TrailingZeros64(bitsWord))
+					bitsWord &^= 1 << bit
+					leafIdx := uint64(word)*64 + uint64(bit)
+					block := hi<<leafBits | leafIdx
+					ref, scope := unpackMeta(lf.meta[leafIdx])
+					e := Entry{Time: lf.times[leafIdx], Ref: ref, Scope: scope}
+					if drop(block, e) {
+						lf.present[word] &^= 1 << bit
+						evicted++
+					}
+				}
+			}
+		}
+	}
+	r.blocks -= evicted
+	return evicted
+}
 
 // Map is a flat map-based reference implementation used for differential
 // testing and the block-table ablation benchmark.

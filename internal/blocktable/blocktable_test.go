@@ -110,3 +110,64 @@ func BenchmarkRadixDense(b *testing.B) { benchTable(b, NewRadix(), 1<<16) }
 func BenchmarkMapDense(b *testing.B)   { benchTable(b, NewMap(), 1<<16) }
 func BenchmarkRadixWide(b *testing.B)  { benchTable(b, NewRadix(), 1<<32) }
 func BenchmarkMapWide(b *testing.B)    { benchTable(b, NewMap(), 1<<32) }
+
+func TestRadixEvict(t *testing.T) {
+	r := NewRadix()
+	// Spread blocks across several leaves and top-level entries.
+	var blocks []uint64
+	for i := uint64(0); i < 4000; i++ {
+		blocks = append(blocks, i*37)
+	}
+	blocks = append(blocks, 1<<40, 1<<40+1, 1<<50)
+	for i, b := range blocks {
+		r.LookupStore(b, Entry{Time: uint64(i + 1)})
+	}
+	if r.Blocks() != len(blocks) {
+		t.Fatalf("Blocks = %d, want %d", r.Blocks(), len(blocks))
+	}
+	// Evict every odd-numbered block; check drop sees the stored entry.
+	seen := map[uint64]uint64{}
+	n := r.Evict(func(block uint64, e Entry) bool {
+		seen[block] = e.Time
+		return block%2 == 1
+	})
+	wantEvicted := 0
+	for i, b := range blocks {
+		if seen[b] != uint64(i+1) {
+			t.Fatalf("block %#x: drop saw time %d, want %d", b, seen[b], i+1)
+		}
+		if b%2 == 1 {
+			wantEvicted++
+		}
+	}
+	if n != wantEvicted || r.Blocks() != len(blocks)-wantEvicted {
+		t.Fatalf("evicted %d (Blocks %d), want %d (%d)",
+			n, r.Blocks(), wantEvicted, len(blocks)-wantEvicted)
+	}
+	// Evicted blocks must look like first touches again; survivors keep
+	// their entries.
+	for i, b := range blocks {
+		prev, ok := r.LookupStore(b, Entry{Time: 9999})
+		if b%2 == 1 {
+			if ok {
+				t.Fatalf("evicted block %#x still present (%+v)", b, prev)
+			}
+		} else if !ok || prev.Time != uint64(i+1) {
+			t.Fatalf("survivor %#x: prev=%+v ok=%v", b, prev, ok)
+		}
+	}
+	if r.Blocks() != len(blocks) {
+		t.Fatalf("after re-store Blocks = %d, want %d", r.Blocks(), len(blocks))
+	}
+}
+
+func TestRadixEvictNone(t *testing.T) {
+	r := NewRadix()
+	r.LookupStore(7, Entry{Time: 1})
+	if n := r.Evict(func(uint64, Entry) bool { return false }); n != 0 {
+		t.Fatalf("evicted %d, want 0", n)
+	}
+	if r.Blocks() != 1 {
+		t.Fatalf("Blocks = %d, want 1", r.Blocks())
+	}
+}

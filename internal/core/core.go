@@ -30,6 +30,7 @@ import (
 	"reusetool/internal/metrics"
 	"reusetool/internal/reusecheck"
 	"reusetool/internal/reusedist"
+	"reusetool/internal/sampling"
 	"reusetool/internal/staticanalysis"
 	"reusetool/internal/timing"
 	"reusetool/internal/trace"
@@ -71,6 +72,13 @@ type Options struct {
 	// (routine call path) — the paper's Section IV extension. Off by
 	// default, as in the paper, to bound overhead.
 	TrackContext bool
+	// Sampling selects SHARDS-style spatial sampling of the block stream
+	// (see internal/sampling): the reuse-distance engines admit ~1/Rate
+	// of all memory blocks and report scaled estimates, bounding memory
+	// and per-access cost on huge traces. The zero value analyzes
+	// exactly. Only dynamic and trace sources sample; static and saved
+	// sources reject an enabled config.
+	Sampling sampling.Config
 	// Tee, when non-nil, additionally receives the raw event stream
 	// (e.g. a tracefile.Writer recording the run).
 	Tee trace.Handler
@@ -256,15 +264,42 @@ func (r *Result) WriteSummary(w io.Writer, level string, minShare float64) error
 		return err
 	}
 	recs := r.Opportunities(level, r.Params)
-	if len(recs) == 0 {
-		return nil
-	}
-	fmt.Fprintf(w, "\nStatic reuse opportunities (reusecheck, ranked by predicted %s miss reduction):\n", level)
-	for i, rec := range recs {
-		fmt.Fprintf(w, "%2d. [%s, %s] saves ~%.0f misses: %s\n", i+1, rec.Kind, rec.Legality, rec.Misses, rec.Rationale)
-		if rec.LegalityNote != "" {
-			fmt.Fprintf(w, "      legality: %s\n", rec.LegalityNote)
+	if len(recs) > 0 {
+		fmt.Fprintf(w, "\nStatic reuse opportunities (reusecheck, ranked by predicted %s miss reduction):\n", level)
+		for i, rec := range recs {
+			fmt.Fprintf(w, "%2d. [%s, %s] saves ~%.0f misses: %s\n", i+1, rec.Kind, rec.Legality, rec.Misses, rec.Rationale)
+			if rec.LegalityNote != "" {
+				fmt.Fprintf(w, "      legality: %s\n", rec.LegalityNote)
+			}
 		}
 	}
+	r.writeSampleFooter(w)
 	return nil
+}
+
+// writeSampleFooter appends the sampling disclosure when any engine of
+// the result sampled: the effective rate, the admitted block count and
+// a rough relative-error estimate per granularity. Exact results write
+// nothing, so existing report goldens are unaffected.
+func (r *Result) writeSampleFooter(w io.Writer) {
+	if r.Collector == nil {
+		return
+	}
+	any, infos := r.Collector.Sampled()
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\nSampling: SHARDS spatial sampling was in effect; all counts above are scaled estimates.\n")
+	for i, info := range infos {
+		if !info.Enabled {
+			continue
+		}
+		g := r.Collector.Grans[i]
+		mode := "fixed"
+		if info.Adaptive {
+			mode = fmt.Sprintf("adaptive, max %d blocks", info.MaxBlocks)
+		}
+		fmt.Fprintf(w, "  %-10s rate 1/%d (%s), %d blocks admitted, %d sampled arcs, est. rel. error ~%.1f%%\n",
+			g.Name+":", info.Rate, mode, info.AdmittedBlocks, info.Arcs, 100*info.ErrEstimate())
+	}
 }

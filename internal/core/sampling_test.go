@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"reusetool/internal/sampling"
+	"reusetool/internal/workloads"
+)
+
+func TestPipelineSamplingRate1Identity(t *testing.T) {
+	exact, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Pipeline{
+		Source:  DynamicSource{Prog: workloads.Fig2()},
+		Options: Options{Sampling: sampling.Config{Rate: 1}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Collector.Fingerprint() != sampled.Collector.Fingerprint() {
+		t.Fatal("rate-1 sampled pipeline differs from exact by fingerprint")
+	}
+}
+
+func TestPipelineSamplingFooter(t *testing.T) {
+	prog := workloads.Stream(1<<14, 3)
+	res, err := Pipeline{
+		Source:  DynamicSource{Prog: prog},
+		Options: Options{Sampling: sampling.Config{Rate: 8}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteSummary(&b, "L2", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Sampling: SHARDS spatial sampling was in effect") {
+		t.Fatalf("summary lacks sampling footer:\n%s", out)
+	}
+	if !strings.Contains(out, "rate 1/8 (fixed)") {
+		t.Fatalf("footer lacks rate line:\n%s", out)
+	}
+
+	// Exact runs must not grow a footer (report goldens depend on it).
+	exact, err := Pipeline{Source: DynamicSource{Prog: workloads.Stream(1<<14, 3)}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := exact.WriteSummary(&b, "L2", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Sampling:") {
+		t.Fatal("exact summary contains sampling footer")
+	}
+}
+
+func TestPipelineSamplingRejectedModes(t *testing.T) {
+	cfg := sampling.Config{Rate: 8}
+	if _, err := (Pipeline{
+		Source:  StaticSource{Prog: workloads.Fig2()},
+		Options: Options{Sampling: cfg},
+	}).Run(); err == nil {
+		t.Fatal("static source accepted a sampling config")
+	}
+	base, err := Pipeline{Source: DynamicSource{Prog: workloads.Fig2()}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Pipeline{
+		Source:  SavedSource{Info: base.Info, Collector: base.Collector},
+		Options: Options{Sampling: cfg},
+	}).Run(); err == nil {
+		t.Fatal("saved source accepted a sampling config")
+	}
+	if _, err := (Pipeline{
+		Source:  DynamicSource{Prog: workloads.Fig2()},
+		Options: Options{Sampling: sampling.Config{Rate: 3}},
+	}).Run(); err == nil {
+		t.Fatal("invalid rate accepted")
+	}
+}
+
+func TestPipelineSamplingParallelMatchesSequential(t *testing.T) {
+	run := func(parallel bool) uint64 {
+		res, err := Pipeline{
+			Source: DynamicSource{Prog: workloads.Stream(1<<14, 3)},
+			Options: Options{
+				Sampling: sampling.Config{Rate: 8},
+				Parallel: parallel,
+			},
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Collector.Fingerprint()
+	}
+	if seq, par := run(false), run(true); seq != par {
+		t.Fatalf("parallel sampled run differs: %x vs %x", seq, par)
+	}
+}

@@ -165,7 +165,7 @@ func finalized(prog *ir.Program, info *ir.Info) (*ir.Info, error) {
 // block tables, tree windows and per-ref/per-scope tables are sized once
 // up front instead of growing on the per-access path.
 func (p Pipeline) newCollector(info *ir.Info, footprint uint64) *reusedist.Collector {
-	base := reusedist.Config{HistRes: p.HistRes}
+	base := reusedist.Config{HistRes: p.HistRes, Sampling: p.Sampling}
 	if p.UseFenwick {
 		base.Tree = ostree.KindFenwick
 	}
@@ -237,6 +237,9 @@ func (p Pipeline) runDynamic(ctx context.Context, s DynamicSource) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	if err := p.Sampling.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	hier := p.hierarchy()
 
 	var col *reusedist.Collector
@@ -286,6 +289,9 @@ func (p Pipeline) runDynamic(ctx context.Context, s DynamicSource) (*Result, err
 	if err := checkpoint(ctx); err != nil {
 		return nil, err
 	}
+	// Apply the sampled engines' report-time rate scaling before anything
+	// reads counts (metrics, persist, fingerprints). No-op when exact.
+	col.Finish()
 	static := staticanalysis.Analyze(info, run.Machine, staticanalysis.TripsFromRun(run, 1))
 	rep, err := metrics.Build(info, col, static, hier, p.Model)
 	if err != nil {
@@ -300,6 +306,9 @@ func (p Pipeline) runStatic(ctx context.Context, s StaticSource) (*Result, error
 	info, err := finalized(s.Prog, s.Info)
 	if err != nil {
 		return nil, err
+	}
+	if p.Sampling.Enabled() {
+		return nil, fmt.Errorf("core: static analysis does not sample; disable the sampling config")
 	}
 	hier := p.hierarchy()
 	est, err := staticreuse.Estimate(info, hier, staticreuse.Options{
@@ -335,6 +344,9 @@ func (p Pipeline) runSaved(ctx context.Context, s SavedSource) (*Result, error) 
 	if s.Collector == nil {
 		return nil, fmt.Errorf("core: saved source has no collector")
 	}
+	if p.Sampling.Enabled() {
+		return nil, fmt.Errorf("core: saved data was collected with its own sampling config; disable the sampling option")
+	}
 	hier := p.hierarchy()
 	mach, err := interp.Layout(info, p.Params)
 	if err != nil {
@@ -367,6 +379,9 @@ func (p Pipeline) runTrace(ctx context.Context, s TraceSource) (*Result, error) 
 	if s.R == nil {
 		return nil, fmt.Errorf("core: trace source has no reader")
 	}
+	if err := p.Sampling.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	hier := p.hierarchy()
 	col := p.newCollector(nil, 0)
 	var sim *cachesim.Sim
@@ -395,6 +410,7 @@ func (p Pipeline) runTrace(ctx context.Context, s TraceSource) (*Result, error) 
 	if err := checkpoint(ctx); err != nil {
 		return nil, err
 	}
+	col.Finish()
 	rep, err := metrics.Build(meta, col, nil, hier, p.Model)
 	if err != nil {
 		return nil, fmt.Errorf("core: metrics: %w", err)

@@ -1,0 +1,122 @@
+package histo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scale multiplies every count in the histogram by r with deterministic
+// rounding, in place. The sampled reuse-distance engine uses it in two
+// places: the adaptive sampler halves retained counts (r = 1/2) each
+// time its rate doubles, and report-time scaling multiplies by the final
+// rate (integer r, exact).
+//
+// Integer factors multiply exactly. Fractional factors use
+// largest-remainder rounding over the occupied bins in increasing bin
+// order: each bin gets floor(count*r), and the difference between
+// round(total*r) and the sum of floors is distributed one sample at a
+// time to the bins with the largest fractional remainders (ties broken
+// toward the lower bin). The result depends only on the bin contents and
+// r — never on map order or float summation order — so scaled histograms
+// stay byte-reproducible through reports, persist-v2 and gob. The scaled
+// finite total is exactly round(total*r); cold counts round half-up
+// independently. Max is unchanged (it records the largest distance ever
+// observed, which scaling counts does not alter) unless the histogram
+// scales to empty.
+func (h *Histogram) Scale(r float64) {
+	if r == 1 {
+		return
+	}
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("histo: invalid scale factor %v", r))
+	}
+	if r == math.Trunc(r) {
+		m := uint64(r)
+		if m == 0 {
+			h.counts = nil
+			h.occ = 0
+			h.cold = 0
+			h.total = 0
+			h.maxD = 0
+			return
+		}
+		for idx, c := range h.counts {
+			if c != 0 {
+				h.counts[idx] = c * m
+			}
+		}
+		h.total *= m
+		h.cold *= m
+		return
+	}
+
+	type binShare struct {
+		idx int
+		fl  uint64
+		rem float64
+	}
+	shares := make([]binShare, 0, h.occ)
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		exact := float64(c) * r
+		fl := math.Floor(exact)
+		shares = append(shares, binShare{idx: idx, fl: uint64(fl), rem: exact - fl})
+	}
+	target := uint64(math.Floor(float64(h.total)*r + 0.5))
+	var base uint64
+	for _, s := range shares {
+		base += s.fl
+	}
+	deficit := target - base // >= 0: sum of floors never exceeds round(sum)
+	if deficit > 0 {
+		order := make([]int, len(shares))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			sa, sb := shares[order[a]], shares[order[b]]
+			if sa.rem != sb.rem {
+				return sa.rem > sb.rem
+			}
+			return sa.idx < sb.idx
+		})
+		for _, oi := range order {
+			if deficit == 0 {
+				break
+			}
+			shares[oi].fl++
+			deficit--
+		}
+	}
+	h.occ = 0
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	for _, s := range shares {
+		if s.fl == 0 {
+			continue
+		}
+		h.counts[s.idx] = s.fl
+		h.occ++
+	}
+	h.total = target
+	h.cold = uint64(math.Floor(float64(h.cold)*r + 0.5))
+	if h.total == 0 && h.cold == 0 {
+		h.maxD = 0
+	}
+}
+
+// MergeScaled adds all samples of other, scaled by r with the same
+// deterministic rounding as Scale, into h. other is not modified.
+// Resolutions must match.
+func (h *Histogram) MergeScaled(other *Histogram, r float64) {
+	if other == nil {
+		return
+	}
+	sc := other.Clone()
+	sc.Scale(r)
+	h.Merge(sc)
+}

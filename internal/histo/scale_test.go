@@ -1,0 +1,229 @@
+package histo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func collect(h *Histogram) []Bin {
+	var out []Bin
+	h.Each(func(b Bin) { out = append(out, b) })
+	return out
+}
+
+func TestScaleIdentity(t *testing.T) {
+	h := New()
+	for d := uint64(0); d < 1000; d += 7 {
+		h.AddN(d, d%13+1)
+	}
+	h.AddN(Cold, 5)
+	want := collect(h)
+	total, cold := h.Total(), h.Cold()
+	h.Scale(1)
+	if got := collect(h); len(got) != len(want) {
+		t.Fatalf("Scale(1) changed bins: %v vs %v", got, want)
+	}
+	if h.Total() != total || h.Cold() != cold {
+		t.Fatal("Scale(1) changed totals")
+	}
+}
+
+func TestScaleInteger(t *testing.T) {
+	h := New()
+	h.AddN(3, 10)
+	h.AddN(500, 7)
+	h.AddN(Cold, 4)
+	h.Scale(64)
+	if h.Total() != 17*64 {
+		t.Fatalf("total = %d, want %d", h.Total(), 17*64)
+	}
+	if h.Cold() != 4*64 {
+		t.Fatalf("cold = %d, want %d", h.Cold(), 4*64)
+	}
+	bins := collect(h)
+	if len(bins) != 2 || bins[0].Count != 640 || bins[1].Count != 448 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if h.Max() != 500 {
+		t.Fatalf("max = %d, want 500", h.Max())
+	}
+}
+
+func TestScaleHalfExact(t *testing.T) {
+	// All-even counts halve exactly.
+	h := New()
+	h.AddN(1, 10)
+	h.AddN(2, 4)
+	h.AddN(1000, 6)
+	h.AddN(Cold, 8)
+	h.Scale(0.5)
+	if h.Total() != 10 || h.Cold() != 4 {
+		t.Fatalf("total/cold = %d/%d, want 10/4", h.Total(), h.Cold())
+	}
+	bins := collect(h)
+	if len(bins) != 3 || bins[0].Count != 5 || bins[1].Count != 2 || bins[2].Count != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+func TestScaleHalfLargestRemainder(t *testing.T) {
+	// Odd counts: 3,3,5 (total 11) halved -> target round(5.5)=6.
+	// Floors 1,1,2 sum 4; remainders all .5 -> deficit 2 goes to the two
+	// lowest bins.
+	h := New()
+	h.AddN(1, 3)
+	h.AddN(2, 3)
+	h.AddN(3, 5)
+	h.Scale(0.5)
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	bins := collect(h)
+	if len(bins) != 3 || bins[0].Count != 2 || bins[1].Count != 2 || bins[2].Count != 2 {
+		t.Fatalf("bins = %v, want counts 2,2,2", bins)
+	}
+}
+
+func TestScaleTotalInvariant(t *testing.T) {
+	// For any contents and factor, the scaled finite total must be exactly
+	// round(total*r) and the sum of bins must equal it.
+	factors := []float64{0.5, 0.25, 0.3, 2.5, 1.0 / 3.0}
+	h := New()
+	for d := uint64(0); d < 5000; d += 11 {
+		h.AddN(d, d%17+1)
+	}
+	for _, r := range factors {
+		c := h.Clone()
+		before := c.Total()
+		c.Scale(r)
+		want := uint64(float64(before)*r + 0.5)
+		if c.Total() != want {
+			t.Fatalf("r=%v: total = %d, want %d", r, c.Total(), want)
+		}
+		var sum uint64
+		c.Each(func(b Bin) { sum += b.Count })
+		if sum != c.Total() {
+			t.Fatalf("r=%v: bin sum %d != total %d", r, sum, c.Total())
+		}
+	}
+}
+
+func TestScaleDeterministic(t *testing.T) {
+	build := func() *Histogram {
+		h := New()
+		for d := uint64(0); d < 3000; d += 5 {
+			h.AddN(d, d%7+1)
+		}
+		h.AddN(Cold, 13)
+		return h
+	}
+	a, b := build(), build()
+	a.Scale(1.0 / 3.0)
+	b.Scale(1.0 / 3.0)
+	ab, bb := collect(a), collect(b)
+	if len(ab) != len(bb) {
+		t.Fatalf("bin counts differ: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("bin %d differs: %v vs %v", i, ab[i], bb[i])
+		}
+	}
+	if a.Cold() != b.Cold() {
+		t.Fatal("cold differs")
+	}
+}
+
+// TestScaleGobRoundTrip: a scaled histogram must survive the gob wire
+// format byte-identically — scaling feeds persist-v2 artifacts.
+func TestScaleGobRoundTrip(t *testing.T) {
+	h := New()
+	for d := uint64(0); d < 2000; d += 3 {
+		h.AddN(d, d%5+1)
+	}
+	h.AddN(Cold, 9)
+	h.Scale(0.5)
+	h.Scale(64)
+
+	encode := func(x *Histogram) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	b1 := encode(h)
+	var back Histogram
+	if err := gob.NewDecoder(bytes.NewReader(b1)).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() || back.Cold() != h.Cold() || back.Max() != h.Max() {
+		t.Fatalf("round trip changed totals: %v vs %v", &back, h)
+	}
+	b2 := encode(&back)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-encoded bytes differ")
+	}
+}
+
+func TestScaleHalveThenDouble(t *testing.T) {
+	// The adaptive sampler's pattern: halve k times, then multiply by the
+	// final integer rate. Totals must stay within k of a direct scaling
+	// (each halve rounds at most one sample per direction).
+	h := New()
+	for d := uint64(0); d < 800; d += 2 {
+		h.AddN(d, 3)
+	}
+	before := h.Total()
+	h.Scale(0.5)
+	h.Scale(0.5)
+	h.Scale(4)
+	diff := int64(h.Total()) - int64(before)
+	if diff < -8 || diff > 8 {
+		t.Fatalf("halve twice + x4 drifted by %d samples", diff)
+	}
+}
+
+func TestMergeScaled(t *testing.T) {
+	a := New()
+	a.AddN(5, 10)
+	b := New()
+	b.AddN(5, 7)
+	b.AddN(600, 3)
+	b.AddN(Cold, 2)
+	a.MergeScaled(b, 2)
+	if b.Total() != 10 || b.Cold() != 2 {
+		t.Fatal("MergeScaled modified its argument")
+	}
+	if a.Total() != 10+20 || a.Cold() != 4 {
+		t.Fatalf("total/cold = %d/%d", a.Total(), a.Cold())
+	}
+	bins := collect(a)
+	if len(bins) != 2 || bins[0].Count != 24 || bins[1].Count != 6 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+func TestScaleZero(t *testing.T) {
+	h := New()
+	h.AddN(7, 9)
+	h.AddN(Cold, 3)
+	h.Scale(0)
+	if h.Total() != 0 || h.Cold() != 0 || h.Bins() != 0 || h.Max() != 0 {
+		t.Fatalf("Scale(0) left %v", h)
+	}
+}
+
+func TestScalePanicsOnInvalid(t *testing.T) {
+	for _, r := range []float64{-1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scale(%v) did not panic", r)
+				}
+			}()
+			New().Scale(r)
+		}()
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"reusetool/internal/blocktable"
 	"reusetool/internal/histo"
 	"reusetool/internal/ostree"
+	"reusetool/internal/sampling"
 	"reusetool/internal/scope"
 	"reusetool/internal/trace"
 )
@@ -145,6 +146,12 @@ type Config struct {
 	// context hash, and patterns are collected separately per context.
 	// The paper leaves this off by default to bound overhead.
 	ContextFilter func(trace.ScopeID) bool
+	// Sampling selects SHARDS-style spatial sampling of the block stream
+	// (see internal/sampling and sampling.go in this package). The zero
+	// value analyzes every block exactly. When enabled, call Finish once
+	// the event stream ends and before reading any counts: until then the
+	// engine holds unscaled sampled state.
+	Sampling sampling.Config
 }
 
 // CapacityHints estimates the sizes the engine's structures will reach, so
@@ -197,6 +204,18 @@ type Engine struct {
 	refSlab  []RefData
 	patSlab  []Pattern
 	missSlab []uint64
+
+	// Spatial sampling state (see sampling.go). sampler is nil for exact
+	// engines; scale is the current rate R (1 when exact) multiplied into
+	// every measured distance; maxSample caps the admitted block set in
+	// adaptive mode; arcs counts raw (never rescaled) sampled reuse arcs
+	// for the error estimate; finished records that report-time scaling
+	// ran.
+	sampler   *sampling.Sampler
+	scale     uint64
+	maxSample int
+	arcs      uint64
+	finished  bool
 }
 
 // patScanMax bounds the linear scan of RefData.pats; beyond it the pattern
@@ -225,12 +244,22 @@ func New(cfg Config) *Engine {
 	if cfg.Hints.FootprintBytes > 0 {
 		blocks = int(cfg.Hints.FootprintBytes >> cfg.BlockBits)
 	}
+	// A sampling engine only ever admits ~1/R of the footprint (and at
+	// most the adaptive cap), so size the block table and tree window
+	// from the admitted estimate, not the full footprint.
+	blocks = cfg.Sampling.CapBlocks(blocks)
 	e := &Engine{
 		cfg:   cfg,
 		table: blocktable.NewRadixHint(blocks),
 		tree:  ostree.NewTree(kind, blocks),
 		res:   res,
+		scale: 1,
 		minTh: histo.Cold, // MaxUint64: no threshold ever reached
+	}
+	if cfg.Sampling.Enabled() {
+		e.sampler = sampling.New(cfg.Sampling)
+		e.scale = e.sampler.Rate()
+		e.maxSample = e.sampler.MaxBlocks()
 	}
 	if n := len(cfg.Thresholds); n > 0 {
 		e.thPerm = make([]int, n)
@@ -315,6 +344,11 @@ func (e *Engine) Access(ref trace.RefID, addr uint64, size uint32, _ bool) {
 }
 
 func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
+	if e.sampler != nil && !e.sampler.Admit(block) {
+		// Rejected by the spatial sample: the hash test above is the
+		// entire cost of this access.
+		return
+	}
 	e.clock++
 	now := e.clock
 	cur := e.stack.Top()
@@ -331,11 +365,18 @@ func (e *Engine) accessBlock(ref trace.RefID, block uint64) {
 	if !seen {
 		rd.Cold++
 		e.tree.Insert(now)
+		if e.maxSample > 0 && e.table.Blocks() > e.maxSample {
+			e.rescale()
+		}
 		return
 	}
-	dist := e.tree.CountGreater(prev.Time)
+	// Distances are measured in the sampled address space and scaled to
+	// full-trace units by the current rate (scale is 1 when exact, so
+	// the multiply never branches).
+	dist := e.tree.CountGreater(prev.Time) * e.scale
 	e.tree.Delete(prev.Time)
 	e.tree.Insert(now)
+	e.arcs++
 
 	key := PatternKey{Source: prev.Scope, Carrying: e.stack.Carrying(prev.Time), Context: e.context()}
 	p := rd.last
@@ -517,6 +558,9 @@ func Restore(cfg Config, refs []*RefData, clock uint64) *Engine {
 	}
 	e.table = nil
 	e.tree = nil
+	// Persisted sampled data was scaled by Finish before the snapshot;
+	// never scale it a second time.
+	e.finished = true
 	return e
 }
 

@@ -28,6 +28,15 @@ type CacheEntry struct {
 	Artifact    []byte
 	Report      []byte
 	JSON        []byte
+
+	// SampleRate is the final effective SHARDS sampling rate of the
+	// analysis (the adaptive mode may finish above the configured start
+	// rate); 0 for exact analyses. SampledBlocks is the number of blocks
+	// admitted into the sample across granularities. Both are
+	// informational — the key already encodes the sampling config, so
+	// sampled and exact results can never alias.
+	SampleRate    uint64
+	SampledBlocks uint64
 }
 
 // verify round-trips the persist artifact and checks the restored

@@ -50,6 +50,16 @@ type Metrics struct {
 	// AnalyzeNanos accumulates wall-clock time spent inside the analysis
 	// pipeline (cache misses only; hits skip it entirely).
 	AnalyzeNanos atomic.Uint64
+
+	// SampledJobs counts analyses run with SHARDS sampling enabled.
+	// SampledBlocks and SampleRate hold the admitted-block count and
+	// final effective rate of the most recent sampled analysis — gauges,
+	// not counters: they answer "how big was the sample the daemon last
+	// worked with", the number an operator compares against the
+	// configured max-blocks cap.
+	SampledJobs   atomic.Uint64
+	SampledBlocks atomic.Uint64
+	SampleRate    atomic.Uint64
 }
 
 // NewMetrics starts the uptime clock.
@@ -94,6 +104,9 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("reusetoold_write_behind_dropped_total", "Write-behind entries dropped (queue full or shutdown deadline).", m.WriteBehindDropped.Load())
 	counter("reusetoold_disk_write_errors_total", "Failed disk-tier cache writes.", m.DiskWriteErrors.Load())
 	gauge("reusetoold_analyze_seconds_total", "Wall-clock seconds spent inside the analysis pipeline.", float64(m.AnalyzeNanos.Load())/1e9)
+	counter("reusetoold_sampled_jobs_total", "Analyses executed with SHARDS sampling enabled.", m.SampledJobs.Load())
+	gauge("reusetoold_sampled_blocks", "Blocks admitted into the sample by the most recent sampled analysis.", float64(m.SampledBlocks.Load()))
+	gauge("reusetoold_sampling_effective_rate", "Final effective sampling rate of the most recent sampled analysis.", float64(m.SampleRate.Load()))
 	gauge("reusetoold_queue_depth", "Jobs waiting in the FIFO queue.", float64(g.QueueDepth))
 	gauge("reusetoold_jobs_running", "Jobs currently executing on workers.", float64(g.RunningJobs))
 	gauge("reusetoold_cache_entries", "Entries resident in the memory cache tier.", float64(g.CacheEntries))

@@ -16,6 +16,7 @@ import (
 	"reusetool/internal/ir"
 	"reusetool/internal/lang"
 	"reusetool/internal/persist"
+	"reusetool/internal/sampling"
 	"reusetool/internal/workloads"
 	"reusetool/pkg/client"
 )
@@ -54,6 +55,7 @@ type resolved struct {
 	minShare  float64
 	timeout   time.Duration
 	name      string // program name for bookkeeping
+	sample    sampling.Config
 }
 
 // resolve validates a request and normalizes it into executable form.
@@ -107,6 +109,23 @@ func resolve(req AnalyzeRequest, maxTimeout time.Duration) (*resolved, error) {
 	}
 	if r.mode == "static" && r.dataset != nil {
 		return nil, fmt.Errorf("static mode cannot be combined with an artifact")
+	}
+
+	r.sample = sampling.Config{
+		Rate:      req.SampleRate,
+		MaxBlocks: req.SampleMaxBlocks,
+		Seed:      req.SampleSeed,
+	}
+	if err := r.sample.Validate(); err != nil {
+		return nil, err
+	}
+	if r.sample.Enabled() {
+		if r.mode == "static" {
+			return nil, fmt.Errorf("static mode cannot sample; drop the sample_* fields")
+		}
+		if r.dataset != nil {
+			return nil, fmt.Errorf("an artifact keeps its collection-time sampling; drop the sample_* fields")
+		}
 	}
 
 	r.hierName = req.Hierarchy
@@ -181,6 +200,17 @@ func (r *resolved) cacheKey() string {
 		write("artifact", hex.EncodeToString(sum[:]))
 	}
 	write("hier", r.hierName, "mode", r.mode)
+	// Sampled and exact analyses of the same program must never share a
+	// key. Exact requests write nothing here, so every pre-sampling key
+	// is unchanged; sampled requests key on the normalized config, so
+	// equivalent spellings (seed 0 vs. the explicit default) coincide.
+	if r.sample.Enabled() {
+		n := r.sample.Normalized()
+		write("sample",
+			strconv.FormatUint(n.Rate, 10),
+			strconv.Itoa(n.MaxBlocks),
+			strconv.FormatUint(n.Seed, 10))
+	}
 	write("histres", strconv.Itoa(r.req.HistRes))
 	write("level", r.level)
 	write("minshare", strconv.FormatFloat(r.minShare, 'g', -1, 64))
@@ -204,6 +234,7 @@ func (r *resolved) execute(ctx context.Context) (*CacheEntry, error) {
 		Params:    r.req.Params,
 		HistRes:   r.req.HistRes,
 		Init:      r.init,
+		Sampling:  r.sample,
 	}
 	var src core.Source
 	switch {
@@ -239,12 +270,24 @@ func (r *resolved) execute(ctx context.Context) (*CacheEntry, error) {
 	if err := persist.Save(&artifact, snap); err != nil {
 		return nil, err
 	}
-	return &CacheEntry{
+	entry := &CacheEntry{
 		Key:         r.cacheKey(),
 		Program:     r.name,
 		Fingerprint: res.Collector.Fingerprint(),
 		Artifact:    artifact.Bytes(),
 		Report:      report.Bytes(),
 		JSON:        doc,
-	}, nil
+	}
+	if any, infos := res.Collector.Sampled(); any {
+		for _, info := range infos {
+			if !info.Enabled {
+				continue
+			}
+			entry.SampledBlocks += uint64(info.AdmittedBlocks)
+			if info.Rate > entry.SampleRate {
+				entry.SampleRate = info.Rate
+			}
+		}
+	}
+	return entry, nil
 }

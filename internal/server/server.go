@@ -250,6 +250,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		if entry.SampleRate > 0 {
+			s.metrics.SampledJobs.Add(1)
+			s.metrics.SampledBlocks.Store(entry.SampledBlocks)
+			s.metrics.SampleRate.Store(entry.SampleRate)
+		}
 		s.cache.Put(entry)
 		return entry, nil
 	})

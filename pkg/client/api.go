@@ -37,6 +37,16 @@ type AnalyzeRequest struct {
 	MinShare float64 `json:"minshare,omitempty"`
 	// TimeoutMS overrides the job deadline, capped by the daemon.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// SampleRate enables SHARDS spatial sampling at rate R (power of
+	// two): ~1 in R memory blocks is analyzed and the report carries
+	// scaled estimates. 0 and 1 analyze exactly. Dynamic mode only.
+	SampleRate uint64 `json:"sample_rate,omitempty"`
+	// SampleMaxBlocks bounds tracked blocks per engine; the rate adapts
+	// upward as the cap fills (constant memory for any trace length).
+	SampleMaxBlocks int `json:"sample_max_blocks,omitempty"`
+	// SampleSeed perturbs the admission hash (0 = fixed default).
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
 }
 
 // CheckRequest is the POST /v1/check body: run the static reuse
