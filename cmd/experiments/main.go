@@ -50,6 +50,8 @@ func main() {
 		sampRepeat = flag.Int("sampling-repeat", 3, "replay repetitions per sampling point (fastest wins)")
 		sampDemo   = flag.Uint64("sampling-demo-accesses", 0, "also stream this many synthetic accesses through the adaptive bounded-memory demo (0 = skip; the ISSUE configuration is 1000000000)")
 		sampDemoB  = flag.Int("sampling-demo-max-blocks", 1<<16, "adaptive tracked-block cap per engine for the demo")
+
+		predOut = flag.String("predict-out", "", "write the scaling-model suite results as JSON to this file")
 	)
 	flag.Parse()
 	experiments.SetJobs(*jobs)
@@ -79,7 +81,17 @@ func main() {
 	run("fig9", func() error { return runFig9(*grid, *micell, hier) })
 	run("fig10", func() error { return runFig10(*grid, *micell, hier) })
 	run("fig11", func() error { return runFig11(*grid, parseInts(*micells), hier, *csvDir) })
-	run("predict", func() error { return runPredict(hier) })
+	run("predict", func() error {
+		if err := runPredict(hier); err != nil {
+			return err
+		}
+		fmt.Println()
+		hierName := "scaled"
+		if *full {
+			hierName = "full"
+		}
+		return runPredictModel(hier, hierName, *predOut)
+	})
 	run("static", runStatic)
 	run("hotpath", func() error { return runHotpath(hier, *hotRepeat, *hotOut, *hotBaseline) })
 	run("sampling", func() error {

@@ -148,6 +148,8 @@ const (
 	modeDumpProgram = "dump-program"
 	modeCheck       = "check"
 	modeRemote      = "remote"
+	modeFit         = "fit"
+	modePredict     = "predict"
 )
 
 // modeTable maps flag combinations to an analysis mode. selector is the
@@ -163,43 +165,53 @@ var modeTable = []struct {
 }{
 	{
 		selector: "", mode: modeDynamic,
-		rejects: []string{"json", "notes"},
-		reason:  "they shape the -check output only",
+		rejects: []string{"json", "notes", "train", "model"},
+		reason:  "-json/-notes shape the -check output; -train/-model belong to -fit and -predict",
 	},
 	{
 		selector: "static", mode: modeStatic,
-		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
-		reason:  "they require executing the workload or apply to -check only; the symbolic prediction cannot sample",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "train", "model", "sample-rate", "sample-max-blocks", "sample-seed"},
+		reason:  "they require executing the workload or belong to another mode; the symbolic prediction cannot sample",
 	},
 	{
 		selector: "static-validate", mode: modeValidate,
-		rejects: []string{"save", "dump-trace", "cct", "xml", "compare", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
+		rejects: []string{"save", "dump-trace", "cct", "xml", "compare", "json", "notes", "train", "model", "sample-rate", "sample-max-blocks", "sample-seed"},
 		reason:  "the validation table is the only output of this mode, and the static side cannot sample",
 	},
 	{
 		selector: "load", mode: modeSaved,
-		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
-		reason:  "they require executing the workload, which -load skips, or apply to -check only; saved data keeps its collection-time sampling",
+		rejects: []string{"save", "dump-trace", "cct", "json", "notes", "train", "model", "sample-rate", "sample-max-blocks", "sample-seed"},
+		reason:  "they require executing the workload, which -load skips, or belong to another mode; saved data keeps its collection-time sampling",
 	},
 	{
 		selector: "from-trace", mode: modeTrace,
-		rejects: []string{"workload", "program", "param", "save", "dump-trace", "cct", "compare", "json", "notes"},
+		rejects: []string{"workload", "program", "param", "save", "dump-trace", "cct", "compare", "json", "notes", "train", "model"},
 		reason:  "the trace file replaces the workload",
 	},
 	{
 		selector: "dump-program", mode: modeDumpProgram,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes", "sample-rate", "sample-max-blocks", "sample-seed"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes", "train", "model", "sample-rate", "sample-max-blocks", "sample-seed"},
 		reason:  "no analysis runs in this mode",
 	},
 	{
 		selector: "check", mode: modeCheck,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "sample-rate", "sample-max-blocks", "sample-seed"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "train", "model", "sample-rate", "sample-max-blocks", "sample-seed"},
 		reason:  "the checker runs no analysis",
 	},
 	{
 		selector: "remote", mode: modeRemote,
-		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes"},
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes", "train", "model"},
 		reason:  "the analysis runs on the daemon, which serves the text and JSON reports only",
+	},
+	{
+		selector: "fit", mode: modeFit,
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes", "param", "level"},
+		reason:  "fitting runs the -train bindings only; -param and -level shape the -predict report",
+	},
+	{
+		selector: "predict", mode: modePredict,
+		rejects: []string{"save", "dump-trace", "cct", "compare", "xml", "json", "notes"},
+		reason:  "prediction reconstructs the report from the fitted model without executing the workload",
 	},
 }
 
@@ -228,7 +240,7 @@ func resolveMode(set map[string]bool) (string, error) {
 	}
 	if len(bad) > 0 {
 		if entry.selector == "" {
-			return "", fmt.Errorf("conflicting flags: %s apply to the -check mode only (%s)",
+			return "", fmt.Errorf("conflicting flags: %s apply to another mode only (%s)",
 				strings.Join(bad, ", "), entry.reason)
 		}
 		return "", fmt.Errorf("conflicting flags: -%s cannot be combined with %s (%s)",
@@ -270,6 +282,13 @@ func run() int {
 		remote    = flag.String("remote", "", "submit the analysis to a reusetoold daemon at this base URL instead of running it in-process")
 		timeout   = flag.Duration("timeout", 0, "abandon the analysis after this long (exit status 3); 0 means no deadline")
 	)
+	train := trainList{}
+	var (
+		fitMode     = flag.Bool("fit", false, "fit a cross-input scaling model from the -train bindings and print its summary")
+		predictMode = flag.Bool("predict", false, "predict the report at the -param binding from a fitted model (-model file, or fit from -train first)")
+		modelPath   = flag.String("model", "", "with -fit: save the fitted model to this file; with -predict: load it from this file instead of fitting")
+	)
+	flag.Var(&train, "train", "training binding name=value[,name=value...]; repeat 3-5 times with -fit/-predict")
 	var (
 		sampleRate   = flag.Uint64("sample-rate", 0, "SHARDS spatial sampling rate R (power of two): admit ~1 in R memory blocks and report scaled estimates; 0 or 1 analyzes exactly")
 		sampleBlocks = flag.Int("sample-max-blocks", 0, "bound tracked blocks per engine: the sampling rate adapts upward as the cap fills, so memory stays constant for any trace (0 = no cap)")
@@ -284,6 +303,8 @@ func run() int {
 	_ = *static
 	_ = *staticVal
 	_ = *check
+	_ = *fitMode
+	_ = *predictMode
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -320,6 +341,11 @@ func run() int {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// -remote on its own selects the remote analysis mode; combined with
+	// -fit or -predict it is a modifier (the daemon executes the fit).
+	if set["fit"] || set["predict"] {
+		delete(set, "remote")
+	}
 	mode, err := resolveMode(set)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -358,6 +384,31 @@ func run() int {
 			return 3
 		}
 		return 1
+	}
+
+	if mode == modeFit || mode == modePredict {
+		cfg := fitCLI{
+			workload:  *workload,
+			progFile:  *progFile,
+			train:     train,
+			params:    params,
+			modelPath: *modelPath,
+			level:     *level,
+			full:      *full,
+			sampling:  sampleCfg,
+			predict:   mode == modePredict,
+		}
+		if *remote != "" {
+			if err := runRemoteFitPredict(ctx, *remote, os.Stdout, os.Stderr, cfg, timeout.Milliseconds()); err != nil {
+				fmt.Fprintln(os.Stderr, describeRemoteError(err))
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					return 3
+				}
+				return 1
+			}
+			return 0
+		}
+		return runFitPredict(ctx, os.Stdout, os.Stderr, cfg)
 	}
 
 	if mode == modeRemote {

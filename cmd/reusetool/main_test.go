@@ -115,13 +115,33 @@ func TestResolveMode(t *testing.T) {
 		{name: "check json", set: set("check", "json"), want: modeCheck},
 		{name: "check notes", set: set("check", "json", "notes"), want: modeCheck},
 		{name: "json without check", set: set("json"),
-			wantErr: []string{"-json", "-check mode only"}},
+			wantErr: []string{"-json", "another mode only"}},
 		{name: "notes without check", set: set("notes", "workload"),
-			wantErr: []string{"-notes", "-check mode only"}},
+			wantErr: []string{"-notes", "another mode only"}},
 		{name: "static json", set: set("static", "json"),
 			wantErr: []string{"-static", "-json"}},
 		{name: "load notes", set: set("load", "notes"),
 			wantErr: []string{"-load", "-notes"}},
+
+		{name: "fit", set: set("fit", "train", "workload"), want: modeFit},
+		{name: "fit model", set: set("fit", "train", "model"), want: modeFit},
+		{name: "predict", set: set("predict", "train", "param", "level"), want: modePredict},
+		{name: "predict model", set: set("predict", "model", "param"), want: modePredict},
+		{name: "predict sampled", set: set("predict", "train", "sample-rate"), want: modePredict},
+		{name: "train without fit", set: set("train"),
+			wantErr: []string{"-train", "another mode only"}},
+		{name: "fit and predict", set: set("fit", "predict"),
+			wantErr: []string{"-fit", "-predict", "choose one"}},
+		{name: "fit param", set: set("fit", "train", "param"),
+			wantErr: []string{"-fit", "-param"}},
+		{name: "fit xml", set: set("fit", "train", "xml"),
+			wantErr: []string{"-fit", "-xml"}},
+		{name: "predict save", set: set("predict", "train", "save"),
+			wantErr: []string{"-predict", "-save"}},
+		{name: "fit static", set: set("fit", "static"),
+			wantErr: []string{"-fit", "-static", "choose one"}},
+		{name: "check train", set: set("check", "train"),
+			wantErr: []string{"-check", "-train"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"reusetool/pkg/client"
+)
+
+// TestPredictEndToEnd drives the scaling-model contract at the daemon
+// level: a coordinator fronting a worker fits fig2 from 3 training
+// runs scheduled as related jobs, the fit consumes the warm training
+// results from the cache, and /v1/predict answers the 16x what-if
+// query sub-millisecond within the documented 30% bound — without
+// submitting any new analysis job to the worker.
+func TestPredictEndToEnd(t *testing.T) {
+	workerURL, _, _ := startDaemon(t, "-workers", "2")
+	coordURL, _, _ := startDaemon(t, "-coordinator", "-peers", workerURL, "-poll-interval", "10ms")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cl := client.New(coordURL)
+	cl.PollInterval = 10 * time.Millisecond
+
+	fitReq := client.FitRequest{
+		Workload: "fig2",
+		TrainParams: []map[string]int64{
+			{"N": 64}, {"N": 96}, {"N": 128},
+		},
+	}
+	job, err := cl.Fit(ctx, fitReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cl.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != client.JobDone {
+		t.Fatalf("fit job: status %s (%s)", done.Status, done.Error)
+	}
+	if !strings.Contains(done.Report, "Cross-input scaling model") {
+		t.Fatalf("fit report missing model summary:\n%s", done.Report)
+	}
+
+	// The coordinator expanded the fit into one related job per
+	// training binding and proxied them to the ring.
+	if v := scrapeMetric(t, coordURL, "reusetoold_cluster_training_jobs_total"); v != 3 {
+		t.Fatalf("cluster_training_jobs_total = %g, want 3", v)
+	}
+	if v := scrapeMetric(t, coordURL, "reusetoold_cluster_fits_proxied_total"); v != 1 {
+		t.Fatalf("cluster_fits_proxied_total = %g, want 1", v)
+	}
+	// The worker fitted from the warm training results, not fresh runs.
+	if v := scrapeMetric(t, workerURL, "reusetoold_models_fitted_total"); v != 1 {
+		t.Fatalf("models_fitted_total = %g, want 1", v)
+	}
+	if v := scrapeMetric(t, workerURL, "reusetoold_fit_training_warm_hits_total"); v < 1 {
+		t.Fatalf("fit_training_warm_hits_total = %g, want >= 1", v)
+	}
+
+	// Ground truth for the bound: the exact pipeline at the target.
+	exactJob, err := cl.Analyze(ctx, client.AnalyzeRequest{
+		Workload: "fig2", Params: map[string]int64{"N": 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := cl.Wait(ctx, exactJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Status != client.JobDone {
+		t.Fatalf("exact job: status %s (%s)", exact.Status, exact.Error)
+	}
+	var doc struct {
+		Levels []struct {
+			Level  string  `json:"level"`
+			Misses float64 `json:"total_misses"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(exact.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var measured float64
+	for _, l := range doc.Levels {
+		if l.Level == "L2" {
+			measured = l.Misses
+		}
+	}
+	if measured <= 0 {
+		t.Fatalf("exact result has no L2 misses: %s", exact.Result)
+	}
+
+	// Predicts are answered from the cached model: no new job reaches
+	// the worker's scheduler. The latency contract is on the fastest of
+	// a few repetitions (scheduling jitter), relaxed under the race
+	// detector's 5-20x slowdown.
+	submittedBefore := scrapeMetric(t, workerURL, "reusetoold_jobs_submitted_total")
+	var pr *client.PredictResponse
+	fastest := 0.0
+	for rep := 0; rep < 5; rep++ {
+		resp, err := cl.Predict(ctx, client.PredictRequest{
+			Workload:    fitReq.Workload,
+			TrainParams: fitReq.TrainParams,
+			Params:      map[string]int64{"N": 2048},
+			Level:       "L2",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 || resp.ElapsedUS < fastest {
+			fastest = resp.ElapsedUS
+		}
+		pr = resp
+	}
+	if pr.Model != done.Key {
+		t.Fatalf("predict answered from model %s, fit stored %s", pr.Model, done.Key)
+	}
+	budgetUS := 1000.0 // the sub-millisecond contract
+	if raceEnabled {
+		budgetUS *= 20
+	}
+	if fastest <= 0 || fastest >= budgetUS {
+		t.Fatalf("predict reconstruction took %.1f µs, want < %.0f", fastest, budgetUS)
+	}
+	var predicted float64
+	for _, l := range pr.Levels {
+		if l.Level == "L2" {
+			predicted = l.TotalMisses
+		}
+	}
+	if predicted <= 0 {
+		t.Fatalf("no predicted L2 misses in %+v", pr.Levels)
+	}
+	relErr := (predicted - measured) / measured
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	t.Logf("predict: %.0f vs exact %.0f (%.1f%% err) in %.1f µs", predicted, measured, relErr*100, fastest)
+	if relErr > 0.30 {
+		t.Fatalf("predicted %.0f vs measured %.0f: %.1f%% exceeds the documented 30%% bound",
+			predicted, measured, relErr*100)
+	}
+	if v := scrapeMetric(t, workerURL, "reusetoold_jobs_submitted_total"); v != submittedBefore {
+		t.Fatalf("jobs_submitted_total went %g -> %g across predict; the model must answer without the interpreter",
+			submittedBefore, v)
+	}
+	if v := scrapeMetric(t, coordURL, "reusetoold_cluster_predicts_proxied_total"); v != 5 {
+		t.Fatalf("cluster_predicts_proxied_total = %g, want 5", v)
+	}
+
+	// Refit of the same spec is a cache hit from any client (the
+	// coordinator answers with a job snapshot; the hit shows on the
+	// terminal doc once the owner serves the cached model).
+	warm, err := cl.Fit(ctx, fitReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDone, err := cl.Wait(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmDone.Status != client.JobDone || !warmDone.CacheHit {
+		t.Fatalf("warm refit: status=%s cache_hit=%v, want done cache hit", warmDone.Status, warmDone.CacheHit)
+	}
+}

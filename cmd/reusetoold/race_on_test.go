@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled relaxes wall-clock latency assertions when the race
+// detector (5-20x slowdown) is on.
+const raceEnabled = true

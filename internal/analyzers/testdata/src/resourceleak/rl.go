@@ -111,3 +111,43 @@ func okTickerEscapes(h *holder) {
 func okTickerFromElsewhere(t *time.Ticker) {
 	<-t.C // parameters are not acquisitions
 }
+
+// The cluster fit/predict proxy idioms: cache-entry transfers and
+// forwarded model queries all carry response bodies that must close on
+// every path, including early status-check returns.
+
+func leakStatusCheckReturn(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `http.Response body is never closed; defer resp.Body.Close\(\)`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil // leaks on the early return too
+	}
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func okCacheEntryFetch(c *http.Client, req *http.Request) ([]byte, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, io.EOF
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+
+func okCacheEntryPush(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return io.EOF
+	}
+	return nil
+}

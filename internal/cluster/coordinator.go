@@ -100,6 +100,10 @@ type proxyJob struct {
 	key string
 	req client.AnalyzeRequest
 
+	// fitReq, when set, marks this as a model-fit job: placeJob submits
+	// it via POST /v1/fit instead of /v1/analyze, and req is unused.
+	fitReq *client.FitRequest
+
 	// mu guards the live state below.
 	mu       sync.Mutex
 	doc      client.Job // guarded by mu
@@ -184,6 +188,8 @@ func New(cfg Config) (*Coordinator, error) {
 	// Checks are stateless and cheap: the coordinator runs them in
 	// place rather than proxying, with the same handler workers mount.
 	mux.HandleFunc("POST /v1/check", server.CheckHandler(cfg.MaxBodyBytes))
+	mux.HandleFunc("POST /v1/fit", c.handleFit)
+	mux.HandleFunc("POST /v1/predict", c.handlePredict)
 	mux.HandleFunc("GET /v1/jobs", c.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobCancel)
@@ -397,7 +403,13 @@ func (c *Coordinator) placeJob(j *proxyJob) (*nodeState, *client.Job) {
 			c.metrics.SubmitRetries.Add(1)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		doc, err := ns.cli.Analyze(ctx, j.req)
+		var doc *client.Job
+		var err error
+		if j.fitReq != nil {
+			doc, err = ns.cli.Fit(ctx, *j.fitReq)
+		} else {
+			doc, err = ns.cli.Analyze(ctx, j.req)
+		}
 		cancel()
 		if err == nil {
 			c.addInflight(ns, 1)

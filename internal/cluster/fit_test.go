@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"reusetool/internal/server"
+	"reusetool/pkg/client"
+)
+
+func fig2FitReq() client.FitRequest {
+	return client.FitRequest{
+		Workload:    "fig2",
+		TrainParams: []map[string]int64{{"N": 64}, {"N": 96}, {"N": 128}},
+	}
+}
+
+// TestCoordinatorFitSchedulesTrainingAcrossRing: a /v1/fit submission
+// fans the training analyses out as related jobs, seeds the fit owner's
+// cache, and completes the fit; /v1/predict then answers from the
+// cached model through the coordinator.
+func TestCoordinatorFitSchedulesTrainingAcrossRing(t *testing.T) {
+	c, _, cl := newCluster(t, 2, server.Config{Workers: 2}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	job, err := cl.Fit(ctx, fig2FitReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cl.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != client.JobDone {
+		t.Fatalf("fit job: %s (%s)", done.Status, done.Error)
+	}
+	if owner := c.Ring().Owner(done.Key); done.Node != owner {
+		t.Fatalf("fit placed on %s, model key's ring owner is %s", done.Node, owner)
+	}
+
+	// The three training runs are registered as related jobs under the
+	// parent's ID, each terminal and sharded by its own cache key.
+	list, err := cl.Jobs(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	related := 0
+	for _, j := range list {
+		if !strings.HasPrefix(j.ID, job.ID+"-t") {
+			continue
+		}
+		related++
+		if j.Status != client.JobDone {
+			t.Fatalf("training job %s: %s (%s)", j.ID, j.Status, j.Error)
+		}
+		if owner := c.Ring().Owner(j.Key); j.Node != owner {
+			t.Fatalf("training job %s on %s, ring owner is %s", j.ID, j.Node, owner)
+		}
+	}
+	if related != 3 {
+		t.Fatalf("found %d related training jobs, want 3", related)
+	}
+	if got := c.Metrics().TrainingJobsScheduled.Load(); got != 3 {
+		t.Fatalf("training_jobs_total = %d, want 3", got)
+	}
+	if got := c.Metrics().FitsProxied.Load(); got != 1 {
+		t.Fatalf("fits_proxied = %d, want 1", got)
+	}
+
+	// Predict a 16x input through the coordinator: proxied to the model
+	// owner, answered from the cached model.
+	resp, err := cl.Predict(ctx, client.PredictRequest{
+		Workload:    "fig2",
+		TrainParams: fig2FitReq().TrainParams,
+		Params:      map[string]int64{"N": 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != done.Key {
+		t.Fatalf("predict model %s, fit key %s", resp.Model, done.Key)
+	}
+	if len(resp.Levels) == 0 || resp.ElapsedUS <= 0 {
+		t.Fatalf("predict response incomplete: %+v", resp)
+	}
+	if got := c.Metrics().PredictsProxied.Load(); got != 1 {
+		t.Fatalf("predicts_proxied = %d, want 1", got)
+	}
+
+	// Refit: the model is cached on its owner, so the fit job completes
+	// as a cache hit without re-scheduling training jobs.
+	job2, err := cl.Fit(ctx, fig2FitReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := cl.Wait(ctx, job2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2.Status != client.JobDone || !done2.CacheHit {
+		t.Fatalf("warm refit: status=%s cache_hit=%v", done2.Status, done2.CacheHit)
+	}
+}
+
+// TestCoordinatorFitRejectsUnsoundSampling is the cluster-surface
+// contract: unsound sampling never reaches a worker and fails with the
+// typed code.
+func TestCoordinatorFitRejectsUnsoundSampling(t *testing.T) {
+	_, _, cl := newCluster(t, 1, server.Config{Workers: 1}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	req := fig2FitReq()
+	req.SampleRate = 8
+	_, err := cl.Fit(ctx, req)
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeUnsoundTrainingInput {
+		t.Fatalf("fit with R=8: %v, want %s", err, client.CodeUnsoundTrainingInput)
+	}
+
+	req = fig2FitReq()
+	req.SampleRate = 1
+	req.SampleMaxBlocks = 256
+	if _, err := cl.Fit(ctx, req); !errors.As(err, &apiErr) || apiErr.Code != client.CodeUnsoundTrainingInput {
+		t.Fatalf("fit with adaptive sampling: %v, want %s", err, client.CodeUnsoundTrainingInput)
+	}
+
+	// Predict against a model that was never fitted: the worker's typed
+	// not_found is forwarded verbatim, not retried around the ring.
+	_, err = cl.Predict(ctx, client.PredictRequest{
+		Workload:    "fig2",
+		TrainParams: fig2FitReq().TrainParams,
+		Params:      map[string]int64{"N": 512},
+	})
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeNotFound {
+		t.Fatalf("predict without model: %v, want not_found", err)
+	}
+}

@@ -29,6 +29,14 @@ type Metrics struct {
 	// successful probe.
 	NodesEvicted  atomic.Uint64
 	NodesRejoined atomic.Uint64
+
+	// FitsProxied counts /v1/fit submissions accepted; each schedules
+	// TrainingJobsScheduled related analyze jobs across the ring before
+	// the fit itself is placed. PredictsProxied counts synchronous
+	// /v1/predict queries forwarded to the model's ring owner.
+	FitsProxied           atomic.Uint64
+	PredictsProxied       atomic.Uint64
+	TrainingJobsScheduled atomic.Uint64
 }
 
 // NewMetrics starts the uptime clock.
@@ -57,6 +65,9 @@ func (m *Metrics) WriteText(w io.Writer, nodes []NodeGauge) {
 	counter("reusetoold_cluster_probe_failures_total", "Failed worker health probes.", m.ProbeFailures.Load())
 	counter("reusetoold_cluster_nodes_evicted_total", "Workers evicted from the ring after consecutive probe failures.", m.NodesEvicted.Load())
 	counter("reusetoold_cluster_nodes_rejoined_total", "Evicted workers re-admitted after a successful probe.", m.NodesRejoined.Load())
+	counter("reusetoold_cluster_fits_proxied_total", "Model-fit submissions accepted and scheduled.", m.FitsProxied.Load())
+	counter("reusetoold_cluster_predicts_proxied_total", "What-if predictions forwarded to a worker.", m.PredictsProxied.Load())
+	counter("reusetoold_cluster_training_jobs_total", "Training analyses scheduled as related jobs for fits.", m.TrainingJobsScheduled.Load())
 
 	sorted := append([]NodeGauge(nil), nodes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })

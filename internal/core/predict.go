@@ -1,0 +1,19 @@
+package core
+
+import (
+	"errors"
+
+	"reusetool/internal/predict"
+)
+
+// TrainingRun extracts this result's per-pattern histograms and
+// sampling mode as one cross-input scaling-model fit input. The result
+// must come from a dynamic run that collected reuse distances (not
+// SimulateOnly/static). The run's parameter overrides travel with it so
+// predict.Fit can place the run on the parameter axes.
+func (r *Result) TrainingRun() (*predict.TrainingRun, error) {
+	if r.Collector == nil {
+		return nil, errors.New("core: result has no reuse-distance collector; run a dynamic analysis")
+	}
+	return predict.NewTrainingRun(r.Collector, r.Params)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"reusetool/internal/cache"
+)
+
+// TestPredictModelFig2 runs one cheap case of the scaling-model suite
+// end to end: fit on 3 small fig2 runs, predict the 16x target, and
+// check the documented accuracy bound against the exact pipeline.
+func TestPredictModelFig2(t *testing.T) {
+	cases := []PredictModelCase{{
+		Workload: "fig2",
+		Train: []map[string]int64{
+			{"N": 64}, {"N": 96}, {"N": 128},
+		},
+		Target: map[string]int64{"N": 2048},
+	}}
+	rows, err := PredictModel(cases, "L2", cache.ScaledItanium2(), "scaled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Scale != 16 {
+		t.Errorf("Scale = %v, want 16", r.Scale)
+	}
+	if r.Measured <= 0 || r.Predicted <= 0 {
+		t.Fatalf("degenerate counts: predicted %v measured %v", r.Predicted, r.Measured)
+	}
+	abs := r.RelErr
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs > PredictModelErrBound {
+		t.Errorf("rel err %.1f%% exceeds documented bound %.0f%%", abs*100, PredictModelErrBound*100)
+	}
+	if r.PredictUS <= 0 {
+		t.Errorf("PredictUS = %v, want > 0", r.PredictUS)
+	}
+	if r.FitMS <= 0 {
+		t.Errorf("FitMS = %v, want > 0", r.FitMS)
+	}
+}
+
+// TestPredictModelCasesScale: every configured case targets at least
+// 16x the largest training size in its varying parameter.
+func TestPredictModelCasesScale(t *testing.T) {
+	for _, c := range PredictModelCases() {
+		if s := scaleFactor(c.Train, c.Target); s < 16 {
+			t.Errorf("%s: scale %.1fx, want >= 16x", c.Workload, s)
+		}
+		if n := len(c.Train); n < 2 || n > 5 {
+			t.Errorf("%s: %d training runs, want 2-5", c.Workload, n)
+		}
+	}
+}

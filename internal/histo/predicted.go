@@ -1,0 +1,44 @@
+package histo
+
+import "math"
+
+// FromMasses builds a predicted histogram from a fitted quantile model:
+// dists[k] is the predicted reuse distance at quantile (k+0.5)/len(dists)
+// and mass is the predicted total count, spread evenly across the
+// quantile slots. Quantization uses largest-remainder rounding so the
+// returned histogram's Total equals round(mass) exactly — per-slot
+// counts are floored, then the leftover units go to the slots with the
+// largest fractional parts (lowest slot index on ties), keeping the
+// result deterministic.
+//
+// This is the serving hot path of the cross-input prediction model: it
+// allocates only the histogram itself and touches no maps.
+//
+//reuse:hotpath
+func FromMasses(res int, dists []float64, mass float64) *Histogram {
+	h := NewRes(res)
+	if len(dists) == 0 || mass < 0.5 {
+		return h
+	}
+	total := uint64(math.Round(mass))
+	per := mass / float64(len(dists))
+	base := uint64(per)
+	rest := total - base*uint64(len(dists))
+	// rest ≤ len(dists) units remain; every slot carries the same
+	// fractional part, so largest-remainder reduces to handing one unit
+	// to each of the first `rest` slots.
+	for k, d := range dists {
+		n := base
+		if uint64(k) < rest {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if d < 0 {
+			d = 0
+		}
+		h.AddN(uint64(math.Round(d)), n)
+	}
+	return h
+}

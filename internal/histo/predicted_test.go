@@ -1,0 +1,54 @@
+package histo
+
+import "testing"
+
+func TestFromMassesTotalExact(t *testing.T) {
+	dists := []float64{1, 4, 9, 40, 300, 5000}
+	for _, mass := range []float64{0, 0.4, 1, 5.5, 6, 17, 1000.49, 123456.7} {
+		h := FromMasses(DefaultResolution, dists, mass)
+		want := uint64(mass + 0.5)
+		if mass < 0.5 {
+			want = 0
+		}
+		if got := h.Total(); got != want {
+			t.Errorf("mass %v: Total = %d, want %d", mass, got, want)
+		}
+		if h.Cold() != 0 {
+			t.Errorf("mass %v: cold = %d, want 0", mass, h.Cold())
+		}
+	}
+}
+
+func TestFromMassesDeterministic(t *testing.T) {
+	dists := []float64{2, 2, 8, 8}
+	a := FromMasses(DefaultResolution, dists, 10)
+	b := FromMasses(DefaultResolution, dists, 10)
+	var ba, bb []Bin
+	a.Each(func(bin Bin) { ba = append(ba, bin) })
+	b.Each(func(bin Bin) { bb = append(bb, bin) })
+	if len(ba) != len(bb) {
+		t.Fatalf("bin counts differ: %d vs %d", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("bin %d differs: %+v vs %+v", i, ba[i], bb[i])
+		}
+	}
+	// 10 units over 4 slots: first two slots get 3, last two get 2.
+	if got := a.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+}
+
+func TestFromMassesEmpty(t *testing.T) {
+	if got := FromMasses(DefaultResolution, nil, 100).Total(); got != 0 {
+		t.Fatalf("Total = %d, want 0 for empty quantile list", got)
+	}
+}
+
+func TestFromMassesNegativeDistanceClamps(t *testing.T) {
+	h := FromMasses(DefaultResolution, []float64{-3, 5}, 4)
+	if got := h.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+}

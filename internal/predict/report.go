@@ -1,0 +1,162 @@
+package predict
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"reusetool/internal/cache"
+)
+
+// WriteSummary renders the fitted model: what it was trained on, which
+// parameters vary, and how many patterns were fitted per granularity.
+// Output is deterministic (no timestamps, no machine state) so the CLI
+// goldens can pin it byte-exactly.
+func (m *Model) WriteSummary(w io.Writer) {
+	mode := "exact"
+	if m.Sampled {
+		mode = "exact-equivalent (R=1 sampled)"
+	}
+	fmt.Fprintf(w, "Cross-input scaling model: %s (hierarchy %s)\n", m.Program, m.Hierarchy)
+	fmt.Fprintf(w, "  fitted from %d %s training runs\n", m.Runs, mode)
+	fmt.Fprintf(w, "  parameters:\n")
+	for _, s := range m.Params {
+		if s.Varies {
+			fmt.Fprintf(w, "    %-8s = %s (varies)\n", s.Name, trainList(s.Train))
+		} else {
+			fmt.Fprintf(w, "    %-8s = %d (fixed)\n", s.Name, s.Default)
+		}
+	}
+	if m.Approx {
+		fmt.Fprintf(w, "  static growth hints: approximate (symbolic counts used fallbacks)\n")
+	}
+	for _, g := range m.Grans {
+		fmt.Fprintf(w, "  %s: %d patterns fitted, cold ≈ %s\n", g.Name, len(g.Patterns), g.Cold.describe())
+	}
+}
+
+// maxReportPatterns bounds the ranked pattern table and residual footer.
+const maxReportPatterns = 8
+
+// WriteReport renders a full predicted what-if report: per-level miss
+// counts, the ranked pattern table at one level, and the disclosure
+// footer (training inputs, chosen basis terms with residuals, and
+// extrapolation caveats). No interpreter state is consulted — the whole
+// report reconstructs from the fitted model.
+func (m *Model) WriteReport(w io.Writer, p *Prediction, hier *cache.Hierarchy, level string) {
+	fmt.Fprintf(w, "Predicted report for %s at %s\n", m.Program, describeBinding(p.Params))
+	for _, lm := range p.LevelMisses(hier) {
+		fmt.Fprintf(w, "  %-4s misses ≈ %.0f (cold %.0f, capacity+conflict %.0f)\n",
+			lm.Level, lm.Total, lm.Cold, lm.Capacity)
+	}
+
+	l := hier.Level(level)
+	if l != nil {
+		ranked := p.RankedPatterns(*l)
+		if len(ranked) > 0 {
+			fmt.Fprintf(w, "\nTop patterns at %s (ranked by predicted misses):\n", level)
+			for i, pp := range ranked {
+				if i >= maxReportPatterns {
+					fmt.Fprintf(w, "  ... and %d more\n", len(ranked)-i)
+					break
+				}
+				fmt.Fprintf(w, "%2d. %s source=%s carried=%s: mass ≈ %.0f, misses ≈ %.0f\n",
+					i+1, pp.RefLabel, pp.SourceLabel, pp.CarryingLabel, pp.Mass, l.ExpectedMisses(pp.Hist))
+			}
+		}
+	}
+
+	m.writeFitFooter(w, p, level, l)
+}
+
+// writeFitFooter discloses everything a reader needs to judge the
+// prediction: the training bindings, the basis terms the fitter chose
+// with their residuals, and whether the query extrapolates beyond the
+// training range.
+func (m *Model) writeFitFooter(w io.Writer, p *Prediction, level string, l *cache.Level) {
+	fmt.Fprintf(w, "\nFit: %d training runs", m.Runs)
+	for ri := 0; ri < m.Runs; ri++ {
+		parts := make([]string, 0, len(m.Params))
+		for _, s := range m.Params {
+			parts = append(parts, fmt.Sprintf("%s=%d", s.Name, s.Train[ri]))
+		}
+		fmt.Fprintf(w, " (%s)", strings.Join(parts, ","))
+	}
+	fmt.Fprintf(w, "\n")
+
+	if l != nil {
+		for _, gm := range m.Grans {
+			if gm.Name != fmt.Sprintf("block%d", l.LineSize()) {
+				continue
+			}
+			fmt.Fprintf(w, "Basis at %s (%s): cold ≈ %s\n", level, gm.Name, gm.Cold.describe())
+			for i, pm := range gm.Patterns {
+				if i >= maxReportPatterns {
+					fmt.Fprintf(w, "  ... and %d more patterns\n", len(gm.Patterns)-i)
+					break
+				}
+				fmt.Fprintf(w, "  %s carried=%s: mass ≈ %s\n", pm.RefLabel, pm.CarryingLabel, pm.Mass.describe())
+			}
+		}
+	}
+
+	if len(p.Extrapolated) > 0 {
+		fmt.Fprintf(w, "Caveat: ")
+		for i, name := range p.Extrapolated {
+			if i > 0 {
+				fmt.Fprintf(w, ", ")
+			}
+			var spec ParamSpec
+			for _, s := range m.Params {
+				if s.Name == name {
+					spec = s
+				}
+			}
+			lo, hi := spec.Train[0], spec.Train[0]
+			for _, t := range spec.Train {
+				if t < lo {
+					lo = t
+				}
+				if t > hi {
+					hi = t
+				}
+			}
+			fmt.Fprintf(w, "%s outside training range [%d, %d]", name, lo, hi)
+		}
+		fmt.Fprintf(w, "; residuals above measure fit error at the training points only.\n")
+	}
+	if m.Sampled {
+		fmt.Fprintf(w, "Training used R=1 SHARDS sampling (bit-identical to exact collection).\n")
+	}
+}
+
+// describe renders a fit as "A·term + B (rmse R)" with coefficients in
+// compact form.
+func (f Scaling) describe() string {
+	var expr string
+	switch {
+	case f.A == 0:
+		expr = fmt.Sprintf("%.4g", f.B)
+	case f.B == 0:
+		expr = fmt.Sprintf("%.4g·%s", f.A, f.Term.Name())
+	default:
+		expr = fmt.Sprintf("%.4g·%s %+.4g", f.A, f.Term.Name(), f.B)
+	}
+	return fmt.Sprintf("%s (rmse %.3g)", expr, f.RMSE)
+}
+
+func describeBinding(params []ParamSpec) string {
+	parts := make([]string, 0, len(params))
+	for _, s := range params {
+		parts = append(parts, fmt.Sprintf("%s=%d", s.Name, s.Default))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func trainList(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}

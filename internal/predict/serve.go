@@ -1,0 +1,201 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reusetool/internal/cache"
+	"reusetool/internal/histo"
+)
+
+// PatternPrediction is one reuse pattern's predicted contribution at a
+// binding: its histogram mass and reconstructed distance distribution.
+type PatternPrediction struct {
+	RefLabel      string
+	SourceLabel   string
+	CarryingLabel string
+	Mass          float64
+	Hist          *histo.Histogram
+}
+
+// GranPrediction is the predicted state of one block-size granularity:
+// the merged histogram the miss model consumes, the compulsory-miss
+// count, and the per-pattern breakdown.
+type GranPrediction struct {
+	Name     string
+	Cold     float64
+	Hist     *histo.Histogram
+	Patterns []PatternPrediction
+}
+
+// Prediction is a full reconstructed what-if answer for one binding.
+type Prediction struct {
+	// Params is the complete binding the prediction was evaluated at
+	// (query overrides merged over model defaults), sorted by name.
+	Params []ParamSpec
+	Grans  []GranPrediction
+	// Extrapolated names the parameters bound outside their training
+	// range — disclosed in the report, where the residual bound no
+	// longer applies.
+	Extrapolated []string
+}
+
+// LevelMisses is the predicted miss breakdown for one cache level.
+type LevelMisses struct {
+	Level string
+	// Total is the expected miss count under the probabilistic
+	// set-associative model, cold misses included.
+	Total float64
+	// Cold is the predicted compulsory-miss count at the level's
+	// granularity.
+	Cold float64
+	// Capacity is Total minus Cold, clamped at zero.
+	Capacity float64
+}
+
+// Predict reconstructs the full predicted state at a parameter binding.
+// Missing parameters take the model's defaults. The reconstruction is
+// pure arithmetic over the fitted coefficients — no interpreter run.
+func (m *Model) Predict(params map[string]int64) (*Prediction, error) {
+	if m == nil {
+		return nil, fmt.Errorf("predict: nil model")
+	}
+	b, err := sortedBinding(m.Params, params)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prediction{}
+	for _, s := range m.Params {
+		spec := ParamSpec{Name: s.Name, Default: b.valueInt(s.Name), Varies: s.Varies}
+		p.Params = append(p.Params, spec)
+		if s.Varies && outsideTrainRange(s, b.value(s.Name)) {
+			p.Extrapolated = append(p.Extrapolated, s.Name)
+		}
+	}
+	m.predictBinding(b, p)
+	return p, nil
+}
+
+// valueInt returns the bound value of a parameter as an int64.
+func (b binding) valueInt(name string) int64 { return int64(b.value(name)) }
+
+func outsideTrainRange(s ParamSpec, v float64) bool {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range s.Train {
+		lo = math.Min(lo, float64(t))
+		hi = math.Max(hi, float64(t))
+	}
+	return v < lo || v > hi
+}
+
+// predictBinding evaluates every fitted quantity at the binding and
+// reconstructs per-pattern and merged histograms. This is the serving
+// hot path: per pattern it evaluates DistBins+1 fits and quantizes one
+// histogram; no maps, no reflection.
+//
+//reuse:hotpath
+func (m *Model) predictBinding(b binding, p *Prediction) {
+	dists := make([]float64, m.DistBins)
+	for _, gm := range m.Grans {
+		gp := GranPrediction{
+			Name: gm.Name,
+			Cold: gm.Cold.Eval(b),
+			Hist: histo.NewRes(gm.Res),
+		}
+		for pi := range gm.Patterns {
+			pm := &gm.Patterns[pi]
+			mass := pm.Mass.Eval(b)
+			if mass < 0.5 {
+				continue
+			}
+			for i := range pm.Dists {
+				dists[i] = pm.Dists[i].Eval(b)
+			}
+			h := histo.FromMasses(gm.Res, dists, mass)
+			gp.Hist.Merge(h)
+			gp.Patterns = append(gp.Patterns, PatternPrediction{
+				RefLabel:      pm.RefLabel,
+				SourceLabel:   pm.SourceLabel,
+				CarryingLabel: pm.CarryingLabel,
+				Mass:          mass,
+				Hist:          h,
+			})
+		}
+		cold := uint64(math.Round(gp.Cold))
+		if cold > 0 {
+			gp.Hist.AddN(histo.Cold, cold)
+		}
+		p.Grans = append(p.Grans, gp)
+	}
+}
+
+// LevelMisses runs the probabilistic set-associative miss model of each
+// hierarchy level over the predicted histogram at the level's block
+// size. Levels whose granularity the model lacks are skipped.
+func (p *Prediction) LevelMisses(hier *cache.Hierarchy) []LevelMisses {
+	var out []LevelMisses
+	for _, l := range hier.Levels {
+		gname := fmt.Sprintf("block%d", l.LineSize())
+		for _, gp := range p.Grans {
+			if gp.Name != gname {
+				continue
+			}
+			total := l.ExpectedMisses(gp.Hist)
+			lm := LevelMisses{Level: l.Name, Total: total, Cold: gp.Cold}
+			if cap := total - gp.Cold; cap > 0 {
+				lm.Capacity = cap
+			}
+			out = append(out, lm)
+			break
+		}
+	}
+	return out
+}
+
+// Gran returns the granularity prediction whose block size matches a
+// hierarchy level, or nil.
+func (p *Prediction) Gran(l cache.Level) *GranPrediction {
+	gname := fmt.Sprintf("block%d", l.LineSize())
+	for i := range p.Grans {
+		if p.Grans[i].Name == gname {
+			return &p.Grans[i]
+		}
+	}
+	return nil
+}
+
+// RankedPatterns returns a granularity's patterns ordered by predicted
+// expected misses at a level, descending; ties break by mass then by
+// labels, so report output is deterministic.
+func (p *Prediction) RankedPatterns(l cache.Level) []PatternPrediction {
+	gp := p.Gran(l)
+	if gp == nil {
+		return nil
+	}
+	type entry struct {
+		pp   PatternPrediction
+		miss float64
+	}
+	entries := make([]entry, len(gp.Patterns))
+	for i, pp := range gp.Patterns {
+		entries[i] = entry{pp: pp, miss: l.ExpectedMisses(pp.Hist)}
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].miss != entries[b].miss {
+			return entries[a].miss > entries[b].miss
+		}
+		if entries[a].pp.Mass != entries[b].pp.Mass {
+			return entries[a].pp.Mass > entries[b].pp.Mass
+		}
+		if entries[a].pp.RefLabel != entries[b].pp.RefLabel {
+			return entries[a].pp.RefLabel < entries[b].pp.RefLabel
+		}
+		return entries[a].pp.CarryingLabel < entries[b].pp.CarryingLabel
+	})
+	ranked := make([]PatternPrediction, len(entries))
+	for i, e := range entries {
+		ranked[i] = e.pp
+	}
+	return ranked
+}

@@ -1,0 +1,316 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reusetool/internal/ir"
+	"reusetool/internal/staticreuse"
+	"reusetool/internal/trace"
+)
+
+// TermKind enumerates the basis-function shapes a fitted quantity can
+// scale by. The set mirrors the paper's ref. [14] model families:
+// compulsory and footprint terms are typically linear or quadratic in
+// a problem dimension, sort-like access patterns N·log N, and
+// cross-dimension working sets products of two dimensions.
+type TermKind int
+
+const (
+	// TermConst models y ≈ B (no dependence on the parameters).
+	TermConst TermKind = iota
+	// TermLinear models y ≈ A·p + B.
+	TermLinear
+	// TermNLogN models y ≈ A·p·log₂p + B.
+	TermNLogN
+	// TermSquare models y ≈ A·p² + B.
+	TermSquare
+	// TermProduct models y ≈ A·p·q + B for two distinct parameters.
+	TermProduct
+)
+
+// Term is one candidate basis function over the program parameters.
+// P (and Q for TermProduct) name the parameters the term reads.
+type Term struct {
+	Kind TermKind
+	P    string
+	Q    string
+}
+
+// Name renders the term for reports ("const", "N", "N·log N", "N²",
+// "N·M").
+func (t Term) Name() string {
+	switch t.Kind {
+	case TermLinear:
+		return t.P
+	case TermNLogN:
+		return t.P + "·log " + t.P
+	case TermSquare:
+		return t.P + "²"
+	case TermProduct:
+		return t.P + "·" + t.Q
+	default:
+		return "const"
+	}
+}
+
+// paramVal is one (name, value) pair of a binding. Bindings are sorted
+// slices rather than maps so the serving path allocates nothing and
+// stays clean under the hotpathalloc analyzer.
+type paramVal struct {
+	Name string
+	V    float64
+}
+
+type binding []paramVal
+
+func (b binding) value(name string) float64 {
+	for _, pv := range b {
+		if pv.Name == name {
+			return pv.V
+		}
+	}
+	return 0
+}
+
+// eval computes the term's basis value at a binding.
+//
+//reuse:hotpath
+func (t Term) eval(b binding) float64 {
+	switch t.Kind {
+	case TermLinear:
+		return b.value(t.P)
+	case TermNLogN:
+		p := b.value(t.P)
+		if p <= 1 {
+			return 0
+		}
+		return p * math.Log2(p)
+	case TermSquare:
+		p := b.value(t.P)
+		return p * p
+	case TermProduct:
+		return b.value(t.P) * b.value(t.Q)
+	default:
+		return 1
+	}
+}
+
+// Scaling is one fitted quantity: y ≈ A·Term + B, with the root-mean-square
+// residual over the training points. A is clamped non-negative at fit
+// time and Eval clamps the result at zero, so predictions never go
+// negative no matter the binding.
+type Scaling struct {
+	Term Term
+	A    float64
+	B    float64
+	RMSE float64
+}
+
+// Eval predicts the quantity at a binding, clamped non-negative.
+//
+//reuse:hotpath
+func (f Scaling) Eval(b binding) float64 {
+	v := f.A*f.Term.eval(b) + f.B
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// fitTerm solves the 2x2 normal equations for y ≈ a·f + b over the
+// training points, deterministically: a degenerate system (all basis
+// values equal) falls back to the mean, and a negative slope is clamped
+// to zero (masses, distances, and miss counts cannot shrink below
+// nothing as inputs grow within our basis family) with the residual
+// recomputed after clamping so term selection sees the honest error.
+func fitTerm(t Term, bindings []binding, ys []float64) Scaling {
+	m := float64(len(ys))
+	var sf, sff, sy, sfy float64
+	for i, b := range bindings {
+		f := t.eval(b)
+		sf += f
+		sff += f * f
+		sy += ys[i]
+		sfy += f * ys[i]
+	}
+	det := m*sff - sf*sf
+	var a, bb float64
+	if math.Abs(det) < 1e-12 {
+		a, bb = 0, sy/m
+	} else {
+		a = (m*sfy - sf*sy) / det
+		bb = (sy - a*sf) / m
+	}
+	if a < 0 {
+		a, bb = 0, sy/m
+	}
+	var sse float64
+	for i, b := range bindings {
+		r := a*t.eval(b) + bb - ys[i]
+		sse += r * r
+	}
+	return Scaling{Term: t, A: a, B: bb, RMSE: math.Sqrt(sse / m)}
+}
+
+// fitBest tries every candidate term and keeps the smallest-RMSE fit,
+// preferring the earlier (simpler) term on ties. When a static growth
+// hint is available and its fit is within 1% relative RMSE of the
+// winner, the hint wins: with only 3–5 training points several shapes
+// often fit equally well, and the symbolically counted growth is the
+// one that extrapolates.
+func fitBest(bindings []binding, ys []float64, terms []Term, hint Term, hasHint bool) Scaling {
+	best := fitTerm(terms[0], bindings, ys)
+	var hintFit Scaling
+	hintSeen := false
+	for _, t := range terms[1:] {
+		f := fitTerm(t, bindings, ys)
+		if f.RMSE < best.RMSE-1e-12 {
+			best = f
+		}
+		if hasHint && t == hint {
+			hintFit, hintSeen = f, true
+		}
+	}
+	if hasHint && terms[0] == hint {
+		hintFit, hintSeen = fitTerm(terms[0], bindings, ys), true
+	}
+	if hintSeen && hintFit.RMSE <= best.RMSE*1.01+1e-12 {
+		return hintFit
+	}
+	return best
+}
+
+// candidateTerms builds the basis over the varying parameters only:
+// constant, then per parameter p, p·log p, p², then pairwise products.
+// Non-varying parameters contribute nothing the training points could
+// distinguish from the constant term.
+func candidateTerms(specs []ParamSpec) []Term {
+	terms := []Term{{Kind: TermConst}}
+	var varying []string
+	for _, s := range specs {
+		if s.Varies {
+			varying = append(varying, s.Name)
+		}
+	}
+	for _, p := range varying {
+		terms = append(terms,
+			Term{Kind: TermLinear, P: p},
+			Term{Kind: TermNLogN, P: p},
+			Term{Kind: TermSquare, P: p})
+	}
+	for i := 0; i < len(varying); i++ {
+		for j := i + 1; j < len(varying); j++ {
+			terms = append(terms, Term{Kind: TermProduct, P: varying[i], Q: varying[j]})
+		}
+	}
+	return terms
+}
+
+// staticHints evaluates the symbolic per-reference access counts from
+// internal/staticreuse at the smallest and largest training binding and
+// converts each reference's growth ratio into the candidate term whose
+// own growth ratio is closest in log space. The hint biases fitBest's
+// term selection (see there). Returns approx=true when the static
+// model used fallback counts anywhere, or could not run at all.
+func staticHints(info *ir.Info, specs []ParamSpec, bindings []binding, terms []Term) (map[trace.RefID]Term, bool) {
+	lo, hi := extremeBindings(specs, bindings)
+	if lo < 0 || hi < 0 || lo == hi {
+		return nil, true
+	}
+	loCounts, loApprox, err1 := staticreuse.CountEstimate(info, bindingParams(bindings[lo]))
+	hiCounts, hiApprox, err2 := staticreuse.CountEstimate(info, bindingParams(bindings[hi]))
+	if err1 != nil || err2 != nil {
+		return nil, true
+	}
+	hints := map[trace.RefID]Term{}
+	for ref, cLo := range loCounts {
+		cHi := hiCounts[ref]
+		if cLo <= 0 || cHi <= 0 {
+			continue
+		}
+		want := math.Log(cHi / cLo)
+		bestTerm, bestDiff := Term{}, math.Inf(1)
+		for _, t := range terms {
+			fLo, fHi := t.eval(bindings[lo]), t.eval(bindings[hi])
+			var g float64
+			if t.Kind == TermConst {
+				g = 0
+			} else if fLo <= 0 || fHi <= 0 {
+				continue
+			} else {
+				g = math.Log(fHi / fLo)
+			}
+			if d := math.Abs(g - want); d < bestDiff {
+				bestTerm, bestDiff = t, d
+			}
+		}
+		if !math.IsInf(bestDiff, 1) {
+			hints[ref] = bestTerm
+		}
+	}
+	return hints, loApprox || hiApprox
+}
+
+// extremeBindings picks the training runs with the smallest and largest
+// product of varying-parameter values.
+func extremeBindings(specs []ParamSpec, bindings []binding) (lo, hi int) {
+	lo, hi = -1, -1
+	var loV, hiV float64
+	for ri, b := range bindings {
+		prod := 1.0
+		for _, s := range specs {
+			if s.Varies {
+				prod *= b.value(s.Name)
+			}
+		}
+		if lo < 0 || prod < loV {
+			lo, loV = ri, prod
+		}
+		if hi < 0 || prod > hiV {
+			hi, hiV = ri, prod
+		}
+	}
+	return lo, hi
+}
+
+// bindingParams converts a binding back to the map form the interpreter
+// layout takes.
+func bindingParams(b binding) map[string]int64 {
+	m := make(map[string]int64, len(b))
+	for _, pv := range b {
+		m[pv.Name] = int64(pv.V)
+	}
+	return m
+}
+
+// sortedBinding builds a binding from a parameter map plus defaults for
+// anything missing, sorted by name. Used on the serving path before the
+// hot prediction loop (allocation happens here, in cold code).
+//
+//reuse:coldpath
+func sortedBinding(specs []ParamSpec, params map[string]int64) (binding, error) {
+	for name := range params {
+		found := false
+		for _, s := range specs {
+			if s.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("predict: model has no parameter %q", name)
+		}
+	}
+	b := make(binding, 0, len(specs))
+	for _, s := range specs {
+		v := s.Default
+		if ov, ok := params[s.Name]; ok {
+			v = ov
+		}
+		b = append(b, paramVal{Name: s.Name, V: float64(v)})
+	}
+	sort.Slice(b, func(i, j int) bool { return b[i].Name < b[j].Name })
+	return b, nil
+}

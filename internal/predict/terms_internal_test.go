@@ -1,0 +1,102 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func bindingsOf(name string, vals ...float64) []binding {
+	bs := make([]binding, len(vals))
+	for i, v := range vals {
+		bs[i] = binding{{Name: name, V: v}}
+	}
+	return bs
+}
+
+func TestFitBestRecoversShapes(t *testing.T) {
+	bs := bindingsOf("N", 32, 48, 64)
+	terms := candidateTerms([]ParamSpec{{Name: "N", Varies: true, Train: []int64{32, 48, 64}}})
+
+	cases := []struct {
+		name string
+		f    func(n float64) float64
+		want TermKind
+	}{
+		{"linear", func(n float64) float64 { return 3*n + 7 }, TermLinear},
+		{"square", func(n float64) float64 { return 2*n*n + 5 }, TermSquare},
+		{"nlogn", func(n float64) float64 { return 4 * n * math.Log2(n) }, TermNLogN},
+		{"const", func(n float64) float64 { return 42 }, TermConst},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ys := make([]float64, len(bs))
+			for i, b := range bs {
+				ys[i] = tc.f(b.value("N"))
+			}
+			fit := fitBest(bs, ys, terms, Term{}, false)
+			if fit.Term.Kind != tc.want {
+				t.Fatalf("picked term %v (%s), want kind %v; fit %+v", fit.Term.Kind, fit.Term.Name(), tc.want, fit)
+			}
+			if fit.RMSE > 1e-6*ys[len(ys)-1] {
+				t.Errorf("rmse %g too large for an exact shape", fit.RMSE)
+			}
+			// Extrapolation 16x beyond the largest training point must track.
+			got, want := fit.Eval(binding{{Name: "N", V: 1024}}), tc.f(1024)
+			if math.Abs(got-want) > 1e-6*want+1e-6 {
+				t.Errorf("Eval(1024) = %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+func TestFitTermClampsNegativeSlope(t *testing.T) {
+	bs := bindingsOf("N", 10, 20, 30)
+	ys := []float64{30, 20, 10} // decreasing: slope would be negative
+	fit := fitTerm(Term{Kind: TermLinear, P: "N"}, bs, ys)
+	if fit.A != 0 {
+		t.Fatalf("A = %g, want clamped to 0", fit.A)
+	}
+	if fit.B != 20 {
+		t.Fatalf("B = %g, want mean 20", fit.B)
+	}
+	if fit.RMSE == 0 {
+		t.Fatal("clamped fit must report its honest residual")
+	}
+}
+
+func TestScalingEvalClampsNegative(t *testing.T) {
+	f := Scaling{Term: Term{Kind: TermLinear, P: "N"}, A: 1, B: -100}
+	if got := f.Eval(binding{{Name: "N", V: 5}}); got != 0 {
+		t.Fatalf("Eval = %g, want 0 (clamped)", got)
+	}
+}
+
+func TestFitBestHintTieBreak(t *testing.T) {
+	// Two training points: a line and a parabola both fit exactly. The
+	// static hint must decide.
+	bs := bindingsOf("N", 32, 64)
+	terms := candidateTerms([]ParamSpec{{Name: "N", Varies: true, Train: []int64{32, 64}}})
+	ys := []float64{32 * 32, 64 * 64}
+	hinted := fitBest(bs, ys, terms, Term{Kind: TermSquare, P: "N"}, true)
+	if hinted.Term.Kind != TermSquare {
+		t.Fatalf("hint ignored: picked %s", hinted.Term.Name())
+	}
+	unhinted := fitBest(bs, ys, terms, Term{}, false)
+	if unhinted.Term.Kind != TermLinear {
+		t.Fatalf("without hint the simpler exact shape should win, got %s", unhinted.Term.Name())
+	}
+}
+
+func TestSortedBinding(t *testing.T) {
+	specs := []ParamSpec{{Name: "M", Default: 100}, {Name: "N", Default: 64}}
+	b, err := sortedBinding(specs, map[string]int64{"N": 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.value("N") != 2048 || b.value("M") != 100 {
+		t.Fatalf("binding = %+v", b)
+	}
+	if _, err := sortedBinding(specs, map[string]int64{"K": 1}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}

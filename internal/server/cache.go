@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"reusetool/internal/persist"
+	"reusetool/internal/predict"
 )
 
 // CacheEntry is one content-addressed analysis result: the key is the
@@ -37,6 +38,12 @@ type CacheEntry struct {
 	// sampled and exact results can never alias.
 	SampleRate    uint64
 	SampledBlocks uint64
+
+	// Model is a serialized cross-input scaling model (predict.Encode)
+	// for entries in the model/ key namespace; such entries carry no
+	// Artifact and their Fingerprint is the model payload's checksum
+	// rather than an engine fingerprint.
+	Model []byte
 }
 
 // verify round-trips the persist artifact and checks the restored
@@ -44,6 +51,15 @@ type CacheEntry struct {
 // artifact (e.g. a truncated disk file predating atomic writes, or a
 // tampered remote-tier response) is rejected rather than served.
 func (e *CacheEntry) verify() error {
+	if len(e.Model) > 0 {
+		// Model entries carry no persist artifact; the fingerprint slot
+		// holds the payload checksum and the payload must decode under
+		// this build's format version.
+		if err := predict.Verify(e.Model, e.Fingerprint); err != nil {
+			return fmt.Errorf("server: cache entry %s: %w", e.Key, err)
+		}
+		return nil
+	}
 	if len(e.Artifact) == 0 {
 		return fmt.Errorf("server: cache entry %s has no artifact", e.Key)
 	}

@@ -60,6 +60,17 @@ type Metrics struct {
 	SampledJobs   atomic.Uint64
 	SampledBlocks atomic.Uint64
 	SampleRate    atomic.Uint64
+
+	// Cross-input scaling models. FitWarmHits counts training runs a fit
+	// served from the result cache instead of executing; PredictNoModel
+	// counts what-if queries rejected for lack of a fitted model.
+	// PredictNanos accumulates model-lookup + reconstruction time only —
+	// the quantity the sub-millisecond serving contract is on.
+	ModelsFitted   atomic.Uint64
+	FitWarmHits    atomic.Uint64
+	PredictsServed atomic.Uint64
+	PredictNoModel atomic.Uint64
+	PredictNanos   atomic.Uint64
 }
 
 // NewMetrics starts the uptime clock.
@@ -104,6 +115,11 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("reusetoold_write_behind_dropped_total", "Write-behind entries dropped (queue full or shutdown deadline).", m.WriteBehindDropped.Load())
 	counter("reusetoold_disk_write_errors_total", "Failed disk-tier cache writes.", m.DiskWriteErrors.Load())
 	gauge("reusetoold_analyze_seconds_total", "Wall-clock seconds spent inside the analysis pipeline.", float64(m.AnalyzeNanos.Load())/1e9)
+	counter("reusetoold_models_fitted_total", "Cross-input scaling models fitted.", m.ModelsFitted.Load())
+	counter("reusetoold_fit_training_warm_hits_total", "Fit training runs served from the result cache.", m.FitWarmHits.Load())
+	counter("reusetoold_predicts_served_total", "What-if predictions answered from a fitted model.", m.PredictsServed.Load())
+	counter("reusetoold_predict_no_model_total", "Predictions rejected because no fitted model was cached.", m.PredictNoModel.Load())
+	gauge("reusetoold_predict_seconds_total", "Wall-clock seconds spent in model lookup and histogram reconstruction.", float64(m.PredictNanos.Load())/1e9)
 	counter("reusetoold_sampled_jobs_total", "Analyses executed with SHARDS sampling enabled.", m.SampledJobs.Load())
 	gauge("reusetoold_sampled_blocks", "Blocks admitted into the sample by the most recent sampled analysis.", float64(m.SampledBlocks.Load()))
 	gauge("reusetoold_sampling_effective_rate", "Final effective sampling rate of the most recent sampled analysis.", float64(m.SampleRate.Load()))

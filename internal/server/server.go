@@ -84,6 +84,9 @@ type Server struct {
 	cache   *ResultCache
 	sched   *Scheduler
 	mux     *http.ServeMux
+	// models memoizes decoded cross-input scaling models for the predict
+	// serving path.
+	models modelCache
 }
 
 // New builds a server and starts its worker pool.
@@ -123,6 +126,8 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/check", CheckHandler(cfg.MaxBodyBytes))
+	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)

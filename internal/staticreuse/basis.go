@@ -1,0 +1,28 @@
+package staticreuse
+
+import (
+	"reusetool/internal/interp"
+	"reusetool/internal/ir"
+	"reusetool/internal/trace"
+)
+
+// CountEstimate evaluates the symbolic per-reference access counts at a
+// concrete parameter binding without running the program: the same
+// trip-count walk Estimate uses, surfaced as a map for consumers that
+// need growth shapes rather than reuse distances. internal/predict
+// compares these counts at the smallest and largest training binding to
+// pick scaling basis functions that match the symbolically counted
+// growth. approx reports that the walk guessed somewhere (unknown
+// bounds, undecidable branches, capped recursion).
+func CountEstimate(info *ir.Info, params map[string]int64) (counts map[trace.RefID]float64, approx bool, err error) {
+	mach, err := interp.Layout(info, params)
+	if err != nil {
+		return nil, false, err
+	}
+	st := collectStats(info, mach)
+	counts = make(map[trace.RefID]float64, len(st.refTotal))
+	for id, c := range st.refTotal {
+		counts[id] = c
+	}
+	return counts, st.Approx, nil
+}

@@ -1,0 +1,35 @@
+package staticreuse
+
+import (
+	"testing"
+
+	"reusetool/internal/workloads"
+)
+
+func TestCountEstimateGrowth(t *testing.T) {
+	// stream's accesses scale linearly in N: doubling N at fixed T must
+	// double every symbolic count.
+	info := workloads.MustFinalize(workloads.Stream(1024, 4))
+	small, approx, err := CountEstimate(info, map[string]int64{"N": 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx {
+		t.Error("stream should be fully decidable")
+	}
+	large, _, err := CountEstimate(info, map[string]int64{"N": 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) == 0 {
+		t.Fatal("no reference counts produced")
+	}
+	for id, c := range small {
+		if c == 0 {
+			continue
+		}
+		if ratio := large[id] / c; ratio != 2 {
+			t.Errorf("ref %d: growth ratio %v, want 2", id, ratio)
+		}
+	}
+}

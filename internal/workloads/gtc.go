@@ -325,9 +325,11 @@ func GTC(cfg GTCConfig) (*ir.Program, func(*interp.Machine) error, error) {
 
 	// ---- init ----
 	seed := cfg.Seed
-	grid := cfg.Grid
 	init := func(m *interp.Machine) error {
 		rng := rand.New(rand.NewSource(seed))
+		// Array extents honor parameter overrides (-param grid=...), so
+		// derive the actual sizes from the arrays, not the config.
+		grid := m.ArrayLen(nindexA)
 		nPart := m.ArrayLen(igrid)
 		for i := int64(0); i < nPart; i++ {
 			m.SetData(igrid, i, rng.Int63n(grid-4))

@@ -106,6 +106,90 @@ type CheckResponse struct {
 	Diagnostics []CheckDiagnostic `json:"diagnostics"`
 }
 
+// FitRequest is the POST /v1/fit body: fit a cross-input scaling model
+// from 2–8 (3–5 recommended) small-input training runs of one program.
+// Exactly one of Workload or Program must be set. Each TrainParams
+// entry is one training run's parameter overrides; the daemon runs (or
+// serves from cache) one analysis per entry, then fits. Training runs
+// must be exact or R=1 sampled — adaptive or R>1 sampling is refused
+// with code "unsound_training_input".
+type FitRequest struct {
+	// Workload names a built-in workload (see workloads.Names).
+	Workload string `json:"workload,omitempty"`
+	// Program is inline .loop source (see internal/lang).
+	Program string `json:"program,omitempty"`
+	// TrainParams lists the training bindings, one map of parameter
+	// overrides per run.
+	TrainParams []map[string]int64 `json:"train_params"`
+	// Hierarchy selects the target machine: "scaled" (default), "full",
+	// or "opteron".
+	Hierarchy string `json:"hierarchy,omitempty"`
+	// HistRes overrides the histogram resolution (0 = default).
+	HistRes int `json:"histres,omitempty"`
+	// TimeoutMS overrides the fit job deadline, capped by the daemon.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SampleRate may be 1 (exact-equivalent SHARDS sampling) or 0/unset;
+	// any other value — and SampleMaxBlocks — is an unsound fit input.
+	SampleRate uint64 `json:"sample_rate,omitempty"`
+	// SampleMaxBlocks must be 0: adaptive bounded-memory sampling yields
+	// scaled estimates and is refused.
+	SampleMaxBlocks int `json:"sample_max_blocks,omitempty"`
+	// SampleSeed perturbs the admission hash when SampleRate is 1.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
+}
+
+// PredictRequest is the POST /v1/predict body: answer a what-if query
+// from a fitted model without running the interpreter. The model is
+// addressed either directly by cache key (Model, as returned in the fit
+// job's Key) or by restating the fit spec (same fields as FitRequest),
+// which re-derives the same key.
+type PredictRequest struct {
+	// Model is the fitted model's cache key (from the /v1/fit job).
+	Model string `json:"model,omitempty"`
+
+	// The fit-spec fields mirror FitRequest and are used only when Model
+	// is empty.
+	Workload    string             `json:"workload,omitempty"`
+	Program     string             `json:"program,omitempty"`
+	TrainParams []map[string]int64 `json:"train_params,omitempty"`
+	Hierarchy   string             `json:"hierarchy,omitempty"`
+	HistRes     int                `json:"histres,omitempty"`
+
+	// Params is the what-if binding to predict (defaults fill the rest).
+	Params map[string]int64 `json:"params,omitempty"`
+	// Level selects the report's focus level (default "L2").
+	Level string `json:"level,omitempty"`
+}
+
+// PredictedLevel is one cache level's predicted miss breakdown.
+type PredictedLevel struct {
+	Level string `json:"level"`
+	// TotalMisses is the expected miss count under the probabilistic
+	// set-associative model, compulsory misses included.
+	TotalMisses float64 `json:"total_misses"`
+	// ColdMisses is the predicted compulsory-miss count.
+	ColdMisses float64 `json:"cold_misses"`
+	// CapacityMisses is TotalMisses minus ColdMisses, clamped at zero.
+	CapacityMisses float64 `json:"capacity_misses"`
+}
+
+// PredictResponse is the POST /v1/predict response, served synchronously
+// from the cached model.
+type PredictResponse struct {
+	APIVersion string `json:"api_version"`
+	// Model is the cache key of the model that answered.
+	Model string `json:"model"`
+	// Params is the complete binding predicted (overrides + defaults).
+	Params map[string]int64 `json:"params"`
+	Levels []PredictedLevel `json:"levels"`
+	// ElapsedUS is the server-side model-lookup + reconstruction time in
+	// microseconds — the quantity the sub-millisecond contract is on.
+	ElapsedUS float64 `json:"elapsed_us"`
+	// Report is the rendered predicted report with the fit-disclosure
+	// footer.
+	Report string `json:"report,omitempty"`
+}
+
 // JobStatus is the lifecycle state of a scheduled analysis.
 type JobStatus string
 
@@ -211,6 +295,10 @@ const (
 	CodeUnavailable ErrorCode = "unavailable"
 	// CodeUpstream: the coordinator could not reach a worker (502).
 	CodeUpstream ErrorCode = "upstream"
+	// CodeUnsoundTrainingInput: a /v1/fit request asked for adaptive or
+	// R>1 sampled training runs, whose scaled estimates are unsound
+	// model-fit inputs (400).
+	CodeUnsoundTrainingInput ErrorCode = "unsound_training_input"
 	// CodeInternal: unexpected server-side failure (500).
 	CodeInternal ErrorCode = "internal"
 )

@@ -125,6 +125,46 @@ func (c *Client) Check(ctx context.Context, req CheckRequest) (*CheckResponse, e
 	return &resp, nil
 }
 
+// Fit submits a cross-input scaling-model fit. A model-cache hit
+// returns a JobDone document immediately; otherwise the returned job
+// covers the 3–5 training runs plus the fit — poll it with Job or
+// Wait. The finished job's Key is the model's cache key, usable as
+// PredictRequest.Model. Unsound training inputs (adaptive or R>1
+// sampling) fail fast with an *Error carrying
+// CodeUnsoundTrainingInput.
+func (c *Client) Fit(ctx context.Context, req FitRequest) (*Job, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var job Job
+	err = c.withRetry(ctx, retryTemporary, func() error {
+		return c.do(ctx, http.MethodPost, "/v1/fit", payload, &job)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fit at %s: %w", c.base, err)
+	}
+	return &job, nil
+}
+
+// Predict answers a what-if query from a fitted model, synchronously —
+// no job is scheduled and no interpreter runs. A missing model returns
+// an *Error with CodeNotFound: fit first.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp PredictResponse
+	err = c.withRetry(ctx, retryTemporary, func() error {
+		return c.do(ctx, http.MethodPost, "/v1/predict", payload, &resp)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("predict at %s: %w", c.base, err)
+	}
+	return &resp, nil
+}
+
 // Job fetches the current state of a job by ID.
 func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	var job Job

@@ -1,0 +1,103 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"reusetool/internal/server"
+	"reusetool/pkg/client"
+)
+
+// TestClientFitAndPredict walks the typed fit/predict methods against a
+// real daemon: fit fig2 from three small runs, then answer a what-if
+// query from the cached model.
+func TestClientFitAndPredict(t *testing.T) {
+	cl := startDaemon(t, server.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	req := client.FitRequest{
+		Workload:    "fig2",
+		TrainParams: []map[string]int64{{"N": 64}, {"N": 96}, {"N": 128}},
+	}
+	job, err := cl.Fit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cl.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != client.JobDone {
+		t.Fatalf("fit job: %s (%s)", done.Status, done.Error)
+	}
+
+	// Address the model by its key from the finished fit job.
+	resp, err := cl.Predict(ctx, client.PredictRequest{
+		Model:  done.Key,
+		Params: map[string]int64{"N": 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != done.Key || len(resp.Levels) == 0 {
+		t.Fatalf("predict response incomplete: %+v", resp)
+	}
+	if resp.Params["N"] != 1024 {
+		t.Fatalf("predict params %v", resp.Params)
+	}
+	if !strings.Contains(resp.Report, "Predicted report") {
+		t.Fatalf("predict report missing:\n%s", resp.Report)
+	}
+
+	// Address the same model by fit spec instead of key.
+	resp2, err := cl.Predict(ctx, client.PredictRequest{
+		Workload:    req.Workload,
+		TrainParams: req.TrainParams,
+		Params:      map[string]int64{"N": 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Model != done.Key {
+		t.Fatalf("fit-spec addressing resolved %s, want %s", resp2.Model, done.Key)
+	}
+}
+
+// TestClientFitUnsoundTrainingTyped is the client-surface contract for
+// satellite soundness: the typed error carries the
+// unsound_training_input code and is not retried as temporary.
+func TestClientFitUnsoundTrainingTyped(t *testing.T) {
+	cl := startDaemon(t, server.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	req := client.FitRequest{
+		Workload:    "fig2",
+		TrainParams: []map[string]int64{{"N": 64}, {"N": 96}},
+		SampleRate:  4,
+	}
+	_, err := cl.Fit(ctx, req)
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("fit error not typed: %v", err)
+	}
+	if apiErr.Code != client.CodeUnsoundTrainingInput {
+		t.Fatalf("code %q, want %q", apiErr.Code, client.CodeUnsoundTrainingInput)
+	}
+	if apiErr.Temporary() {
+		t.Fatal("unsound_training_input must not be temporary (it would be retried)")
+	}
+	if apiErr.Status != 400 {
+		t.Fatalf("status %d, want 400", apiErr.Status)
+	}
+
+	req.SampleRate = 1
+	req.SampleMaxBlocks = 128
+	if _, err := cl.Fit(ctx, req); !errors.As(err, &apiErr) || apiErr.Code != client.CodeUnsoundTrainingInput {
+		t.Fatalf("adaptive sampling: %v, want unsound_training_input", err)
+	}
+}
